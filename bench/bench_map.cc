@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation B (paper section 3.2): the address-map "last fault" hint.
+ *
+ * "Fast lookup on faults can be achieved by keeping last fault
+ * hints.  These hints allow the address map list to be searched from
+ * the last entry found" — and a sorted linked list "does not
+ * penalize large, sparse address spaces."  This benchmark sweeps the
+ * number of map entries and measures sequential fault-lookup cost
+ * with the hint on and off.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "hw/machine.hh"
+#include "pmap/pmap.hh"
+#include "vm/vm_map.hh"
+#include "vm/vm_sys.hh"
+
+namespace mach
+{
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(unsigned entries)
+        : spec(makeSpec()), machine(spec),
+          pmaps(PmapSystem::build(machine))
+    {
+        pmaps->init(spec.hwPageSize());
+        vm = std::make_unique<VmSys>(machine, *pmaps,
+                                     spec.hwPageSize());
+        pmap = pmaps->create();
+        map = new VmMap(*vm, pmap, vm->pageSize(), 1ull << 30);
+        VmSize page = vm->pageSize();
+        // Alternate protections so entries cannot coalesce.
+        for (unsigned i = 0; i < entries; ++i) {
+            VmOffset addr = (2 + i) * page;
+            (void)map->allocate(&addr, page, false);
+            if (i % 2) {
+                (void)map->protect(addr, page, false,
+                                   VmProt::Read);
+            }
+        }
+    }
+
+    ~Fixture()
+    {
+        map->deallocate(map->minAddress(),
+                        map->maxAddress() - map->minAddress());
+        map->deallocateRef();
+        pmaps->destroy(pmap);
+    }
+
+    static MachineSpec
+    makeSpec()
+    {
+        MachineSpec s = MachineSpec::microVax2();
+        s.physMemBytes = 4ull << 20;
+        return s;
+    }
+
+    MachineSpec spec;
+    Machine machine;
+    std::unique_ptr<PmapSystem> pmaps;
+    std::unique_ptr<VmSys> vm;
+    Pmap *pmap = nullptr;
+    VmMap *map = nullptr;
+};
+
+/** Average lookup cost over one sequential pass. */
+SimTime
+sequentialPass(Fixture &f, unsigned entries, bool hint)
+{
+    f.map->useHint = hint;
+    VmSize page = f.vm->pageSize();
+    SimTime t0 = f.machine.clock().now();
+    VmMap::LookupResult lr;
+    for (unsigned i = 0; i < entries; ++i)
+        (void)f.map->lookup((2 + i) * page, FaultType::Read, lr);
+    return (f.machine.clock().now() - t0) / entries;
+}
+
+} // namespace
+} // namespace mach
+
+int
+main()
+{
+    using namespace mach;
+    setQuiet(true);
+
+    std::printf("Ablation B: address map lookup hint (section 3.2)\n");
+    std::printf("%-10s %16s %16s %12s\n", "entries", "hint on",
+                "hint off", "hit rate");
+    for (unsigned n : {8u, 32u, 128u, 512u, 2048u}) {
+        Fixture f(n);
+        std::uint64_t lookups0 = f.vm->stats.lookups;
+        std::uint64_t hits0 = f.vm->stats.hits;
+        SimTime with = sequentialPass(f, n, true);
+        double rate =
+            double(f.vm->stats.hits - hits0) /
+            double(f.vm->stats.lookups - lookups0);
+        SimTime without = sequentialPass(f, n, false);
+        std::printf("%-10u %13.1fus %13.1fus %11.0f%%\n", n,
+                    double(with) / 1e3, double(without) / 1e3,
+                    rate * 100.0);
+    }
+    std::printf("\nHinted lookups stay O(1) as the map grows; "
+                "unhinted ones scan\nlinearly (yet even a "
+                "2048-entry map is far larger than the five\n"
+                "entries of a typical process).\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation D (paper section 5.2): TLB consistency strategies on a
+ * shared-memory multiprocessor.
+ *
+ * None of the multiprocessors running Mach keep TLBs consistent in
+ * hardware, and a remote TLB cannot be modified.  The paper lists
+ * three strategies: (1) forcibly interrupt all CPUs using the map,
+ * (2) postpone until every CPU has taken a timer interrupt, (3)
+ * allow temporary inconsistency.  This benchmark runs a protection
+ * storm on a region active on 1..8 CPUs under each strategy and
+ * reports cost and IPI traffic.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "kern/kernel.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+struct StormResult
+{
+    SimTime time;
+    std::uint64_t ipis;
+    std::uint64_t deferred;
+    std::uint64_t lazy;
+};
+
+StormResult
+protectStorm(unsigned cpus, ShootdownMode mode, unsigned rounds)
+{
+    MachineSpec spec = MachineSpec::encoreMultimax(cpus);
+    spec.physMemBytes = 8ull << 20;
+    Kernel kernel(spec);
+    kernel.pmaps->policy.protect = mode;
+    VmSize page = kernel.pageSize();
+
+    Task *task = kernel.taskCreate();
+    for (unsigned c = 0; c < cpus; ++c) {
+        kernel.threadCreate(*task);
+        kernel.switchTo(task, c);
+    }
+
+    VmOffset addr = 0;
+    VmSize size = 16 * page;
+    (void)task->map().allocate(&addr, size, true);
+    for (unsigned c = 0; c < cpus; ++c) {
+        kernel.machine.setCurrentCpu(c);
+        (void)kernel.machine.touch(c, addr, size, AccessType::Write);
+    }
+    kernel.machine.setCurrentCpu(0);
+
+    std::uint64_t ipis0 = kernel.machine.ipiCount();
+    std::uint64_t deferred0 = kernel.pmaps->deferredFlushes;
+    std::uint64_t lazy0 = kernel.pmaps->lazySkips;
+    SimTime t0 = kernel.now();
+    for (unsigned r = 0; r < rounds; ++r) {
+        (void)vmProtect(*kernel.vm, task->map(), addr, size, false,
+                        VmProt::Read);
+        kernel.machine.timerTick();
+        (void)vmProtect(*kernel.vm, task->map(), addr, size, false,
+                        VmProt::Default);
+        kernel.machine.timerTick();
+    }
+
+    StormResult res{};
+    res.time = kernel.now() - t0;
+    res.ipis = kernel.machine.ipiCount() - ipis0;
+    res.deferred = kernel.pmaps->deferredFlushes - deferred0;
+    res.lazy = kernel.pmaps->lazySkips - lazy0;
+    return res;
+}
+
+const char *
+modeName(ShootdownMode mode)
+{
+    switch (mode) {
+      case ShootdownMode::Immediate: return "immediate";
+      case ShootdownMode::Deferred: return "deferred";
+      case ShootdownMode::Lazy: return "lazy";
+    }
+    return "?";
+}
+
+} // namespace
+} // namespace mach
+
+int
+main()
+{
+    using namespace mach;
+    setQuiet(true);
+
+    std::printf("Ablation D: TLB shootdown strategies "
+                "(section 5.2), Encore MultiMax\n");
+    std::printf("Protection storm on a 16-page region, 32 rounds:\n");
+    std::printf("%-6s %-11s %12s %8s %10s %8s\n", "cpus", "strategy",
+                "time", "IPIs", "deferred", "lazy");
+    for (unsigned cpus : {1u, 2u, 4u, 8u}) {
+        for (auto mode : {ShootdownMode::Immediate,
+                          ShootdownMode::Deferred,
+                          ShootdownMode::Lazy}) {
+            StormResult r = protectStorm(cpus, mode, 32);
+            std::printf("%-6u %-11s %12s %8llu %10llu %8llu\n", cpus,
+                        modeName(mode), bench::ms(r.time).c_str(),
+                        (unsigned long long)r.ipis,
+                        (unsigned long long)r.deferred,
+                        (unsigned long long)r.lazy);
+        }
+    }
+    std::printf("\nImmediate scales its IPI cost with the CPU count "
+                "(case 1);\ndeferred batches the flush into the next "
+                "clock interrupt (case 2);\nlazy spends nothing but "
+                "tolerates windows of stale TLB entries\n(case 3 — "
+                "acceptable only when the operation's semantics "
+                "allow it).\n");
+    return 0;
+}

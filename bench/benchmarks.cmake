@@ -1,0 +1,24 @@
+# One binary per reproduced table/figure plus ablations (see
+# DESIGN.md section 4).  Outputs land in build/bench/ with nothing
+# else, so `for b in build/bench/*; do $b; done` runs them all.
+
+function(machvm_bench name)
+    add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE machvm)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+machvm_bench(bench_table7_1)
+machvm_bench(bench_table7_2)
+machvm_bench(bench_shadow)
+machvm_bench(bench_map)
+machvm_bench(bench_ipt)
+machvm_bench(bench_shootdown)
+machvm_bench(bench_pagesize)
+machvm_bench(bench_pmapcopy)
+
+add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
+target_link_libraries(bench_micro PRIVATE machvm benchmark::benchmark)
+set_target_properties(bench_micro PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * External pager example: page faults handled *outside* the kernel
+ * (paper section 3.3, Tables 3-1/3-2).
+ *
+ * A user-state "checkerboard pager" manages a memory object: page
+ * contents are generated on demand (pager_data_provided), written
+ * back on eviction (pager_data_write), and one page is guarded with
+ * pager_data_lock so the first write triggers a
+ * pager_data_unlock exchange.
+ *
+ *   $ build/examples/external_pager
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "kern/kernel.hh"
+#include "pager/external_pager.hh"
+#include "vm/vm_user.hh"
+
+using namespace mach;
+
+namespace
+{
+
+/** The user-state memory manager. */
+class CheckerboardPager
+{
+  public:
+    CheckerboardPager(VmSize page) : page(page) {}
+
+    /** pager_server: process messages from the kernel. */
+    void
+    service(ExternalPager &proxy)
+    {
+        while (auto msg = proxy.objectPort().receive()) {
+            switch (static_cast<MsgId>(msg->id)) {
+              case MsgId::PagerInit:
+                std::printf("  [pager] pager_init received\n");
+                break;
+              case MsgId::PagerDataRequest: {
+                VmOffset offset = msg->word(0);
+                std::printf("  [pager] pager_data_request offset "
+                            "%llu\n", (unsigned long long)offset);
+                auto it = store.find(offset);
+                if (it != store.end()) {
+                    proxy.pagerDataProvided(offset, it->second.data(),
+                                            it->second.size(),
+                                            VmProt::None);
+                    break;
+                }
+                // Generate a checkerboard pattern; lock page 0
+                // against writes until explicitly unlocked.
+                std::vector<std::uint8_t> data(page);
+                for (VmSize i = 0; i < page; ++i)
+                    data[i] = ((offset / page + i / 16) % 2) ? 0xff
+                                                             : 0x00;
+                VmProt lock = offset == 0 ? VmProt::Write
+                                          : VmProt::None;
+                proxy.pagerDataProvided(offset, data.data(), page,
+                                        lock);
+                break;
+              }
+              case MsgId::PagerDataUnlock: {
+                VmOffset offset = msg->word(0);
+                std::printf("  [pager] pager_data_unlock offset %llu"
+                            " -- granting write access\n",
+                            (unsigned long long)offset);
+                proxy.pagerDataLock(offset, page, VmProt::None);
+                break;
+              }
+              case MsgId::PagerDataWrite: {
+                VmOffset offset = msg->word(0);
+                std::printf("  [pager] pager_data_write offset %llu "
+                            "(%zu bytes back in our store)\n",
+                            (unsigned long long)offset,
+                            msg->inlineData.size());
+                store[offset] = msg->inlineData;
+                break;
+              }
+              case MsgId::PagerTerminate:
+                std::printf("  [pager] object terminated\n");
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    VmSize page;
+    std::map<VmOffset, std::vector<std::uint8_t>> store;
+};
+
+} // namespace
+
+int
+main()
+{
+    Kernel kernel(MachineSpec::microVax2());
+    VmSize page = kernel.pageSize();
+    Task *task = kernel.taskCreate();
+
+    // Wire up the user pager through the three-port protocol.
+    ExternalPager proxy(kernel, "checkerboard");
+    CheckerboardPager pager(page);
+    proxy.setService([&](ExternalPager &p) { pager.service(p); });
+
+    // vm_allocate_with_pager: map a 4-page object managed by it.
+    VmOffset addr = 0;
+    KernReturn kr = vmAllocateWithPager(*kernel.vm, task->map(),
+                                        &addr, 4 * page, true,
+                                        &proxy, 0);
+    std::printf("mapped 4-page external object at %#llx (%s)\n",
+                (unsigned long long)addr, kernReturnName(kr));
+
+    // Reading faults through the kernel to the pager.
+    std::uint8_t byte = 0;
+    kernel.taskRead(*task, addr + page + 5, &byte, 1);
+    std::printf("read byte at page 1: %#x\n", byte);
+
+    // Writing the locked page forces the unlock handshake.
+    std::printf("writing the locked page 0...\n");
+    std::uint8_t v = 0x7e;
+    kernel.taskWrite(*task, addr + 8, &v, 1);
+    std::printf("write completed after unlock\n");
+
+    // pager_clean_request: the pager asks for its modified data.
+    proxy.pagerCleanRequest(0, page);
+    std::printf("pager store now holds %zu page(s)\n",
+                pager.store.size());
+
+    // Unmapping pushes remaining dirty pages back and terminates.
+    task->map().deallocate(addr, 4 * page);
+    std::printf("done.\n");
+    return 0;
+}

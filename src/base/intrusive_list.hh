@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Intrusive doubly-linked list.
+ *
+ * The resident page table links each VmPage into several lists at
+ * once (its object's page list, an allocation queue, a hash bucket —
+ * paper section 3.1), so the links must live inside the element.  An
+ * element is added to a list via an embedded ListHook; the list is
+ * parameterized on which hook member to use.
+ */
+
+#ifndef MACH_BASE_INTRUSIVE_LIST_HH
+#define MACH_BASE_INTRUSIVE_LIST_HH
+
+#include <cstddef>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+/** Embedded link for IntrusiveList membership. */
+struct ListHook
+{
+    ListHook *prev = nullptr;
+    ListHook *next = nullptr;
+    /** The element containing this hook; set when first linked. */
+    void *owner = nullptr;
+
+    /** True if this hook is currently on some list. */
+    bool linked() const { return next != nullptr; }
+
+    /** Unlink from whatever list this hook is on. */
+    void
+    unlink()
+    {
+        MACH_ASSERT(linked());
+        prev->next = next;
+        next->prev = prev;
+        prev = next = nullptr;
+    }
+};
+
+/**
+ * Circular doubly-linked list threaded through a ListHook member of T.
+ *
+ * @tparam T element type
+ * @tparam Hook pointer-to-member selecting which hook to use
+ */
+template <typename T, ListHook T::*Hook>
+class IntrusiveList
+{
+  public:
+    IntrusiveList()
+    {
+        head.prev = &head;
+        head.next = &head;
+    }
+
+    IntrusiveList(const IntrusiveList &) = delete;
+    IntrusiveList &operator=(const IntrusiveList &) = delete;
+
+    bool empty() const { return head.next == &head; }
+    std::size_t size() const { return count; }
+
+    void pushBack(T *elem) { insertBefore(&head, elem); }
+    void pushFront(T *elem) { insertBefore(head.next, elem); }
+
+    /** Remove @p elem, which must be on this list. */
+    void
+    remove(T *elem)
+    {
+        MACH_ASSERT(count > 0);
+        (elem->*Hook).unlink();
+        --count;
+    }
+
+    T *front() const { return empty() ? nullptr : fromHook(head.next); }
+    T *back() const { return empty() ? nullptr : fromHook(head.prev); }
+
+    /** Pop and return the front element, or nullptr if empty. */
+    T *
+    popFront()
+    {
+        T *elem = front();
+        if (elem)
+            remove(elem);
+        return elem;
+    }
+
+    /** Element after @p elem, or nullptr at the end. */
+    T *
+    next(T *elem) const
+    {
+        ListHook *h = (elem->*Hook).next;
+        return h == &head ? nullptr : fromHook(h);
+    }
+
+    /**
+     * Apply @p fn to every element.  @p fn may remove the element it
+     * is given (the successor is read first), but may not otherwise
+     * restructure the list.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        ListHook *h = head.next;
+        while (h != &head) {
+            ListHook *nxt = h->next;
+            fn(fromHook(h));
+            h = nxt;
+        }
+    }
+
+    /** Minimal iterator support for range-for (no mutation). */
+    class Iterator
+    {
+      public:
+        Iterator(ListHook *h) : hook(h) {}
+        T *operator*() const { return static_cast<T *>(hook->owner); }
+        Iterator &
+        operator++()
+        {
+            hook = hook->next;
+            return *this;
+        }
+        bool operator!=(const Iterator &o) const { return hook != o.hook; }
+
+      private:
+        ListHook *hook;
+    };
+
+    Iterator begin() const { return Iterator(head.next); }
+    Iterator
+    end() const
+    {
+        return Iterator(const_cast<ListHook *>(&head));
+    }
+
+  private:
+    void
+    insertBefore(ListHook *pos, T *elem)
+    {
+        ListHook &h = elem->*Hook;
+        MACH_ASSERT(!h.linked());
+        h.owner = elem;
+        h.prev = pos->prev;
+        h.next = pos;
+        pos->prev->next = &h;
+        pos->prev = &h;
+        ++count;
+    }
+
+    static T *fromHook(ListHook *h) { return static_cast<T *>(h->owner); }
+
+    ListHook head;
+    std::size_t count = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_BASE_INTRUSIVE_LIST_HH

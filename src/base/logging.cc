@@ -1,0 +1,102 @@
+#include "base/logging.hh"
+
+#include <csignal>
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mach
+{
+
+namespace
+{
+
+bool quietMode = false;
+
+/** Print a call trace on fatal signals (simulation debuggability). */
+void
+crashHandler(int sig)
+{
+    std::fprintf(stderr, "fatal signal %d\n", sig);
+    void *frames[32];
+    int n = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, n, 2);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+struct CrashHandlerInstaller
+{
+    CrashHandlerInstaller()
+    {
+        std::signal(SIGSEGV, crashHandler);
+        std::signal(SIGBUS, crashHandler);
+    }
+};
+
+CrashHandlerInstaller installer;
+
+void
+vreport(const char *level, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", level);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    // Dump a call trace to make invariant failures debuggable.
+    void *frames[32];
+    int n = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, n, 2);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace mach

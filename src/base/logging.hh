@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Logging and fatal-error helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (aborts), fatal() for unrecoverable user/configuration
+ * errors (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef MACH_BASE_LOGGING_HH
+#define MACH_BASE_LOGGING_HH
+
+#include <cstdarg>
+
+namespace mach
+{
+
+/**
+ * Report an internal invariant violation and abort.  Call this only
+ * for conditions that indicate a bug in the VM system itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable configuration or usage error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status information. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by the benchmark harness). */
+void setQuiet(bool quiet);
+
+/**
+ * Assert a VM-system invariant; panics with the condition text when it
+ * does not hold.  Unlike assert() this is active in all build types:
+ * the simulation is the product, so invariant checks are part of it.
+ */
+#define MACH_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::mach::panic("assertion '%s' failed at %s:%d",             \
+                          #cond, __FILE__, __LINE__);                   \
+        }                                                               \
+    } while (0)
+
+} // namespace mach
+
+#endif // MACH_BASE_LOGGING_HH

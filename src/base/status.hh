@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Kernel return codes, mirroring Mach's kern_return_t.
+ */
+
+#ifndef MACH_BASE_STATUS_HH
+#define MACH_BASE_STATUS_HH
+
+namespace mach
+{
+
+/**
+ * Result of a kernel operation.  Mirrors Mach's kern_return_t values
+ * for the operations Table 2-1 defines.
+ */
+enum class KernReturn : int
+{
+    Success = 0,
+    /** The address range was invalid or not allocated. */
+    InvalidAddress = 1,
+    /** The operation would exceed the current or maximum protection. */
+    ProtectionFailure = 2,
+    /** No room in the address space (or physical memory exhausted). */
+    NoSpace = 3,
+    /** A parameter was malformed (unaligned, zero-size, etc.). */
+    InvalidArgument = 4,
+    /** Data could not be supplied by the backing memory object. */
+    MemoryError = 5,
+    /** The target object no longer exists. */
+    Terminated = 6,
+    /** The operation is not supported on this object. */
+    NotSupported = 7,
+    /** A resource (e.g. swap space) was exhausted. */
+    ResourceShortage = 8,
+};
+
+/** Human-readable name for a KernReturn. */
+constexpr const char *
+kernReturnName(KernReturn kr)
+{
+    switch (kr) {
+      case KernReturn::Success: return "KERN_SUCCESS";
+      case KernReturn::InvalidAddress: return "KERN_INVALID_ADDRESS";
+      case KernReturn::ProtectionFailure: return "KERN_PROTECTION_FAILURE";
+      case KernReturn::NoSpace: return "KERN_NO_SPACE";
+      case KernReturn::InvalidArgument: return "KERN_INVALID_ARGUMENT";
+      case KernReturn::MemoryError: return "KERN_MEMORY_ERROR";
+      case KernReturn::Terminated: return "KERN_TERMINATED";
+      case KernReturn::NotSupported: return "KERN_NOT_SUPPORTED";
+      case KernReturn::ResourceShortage: return "KERN_RESOURCE_SHORTAGE";
+    }
+    return "KERN_UNKNOWN";
+}
+
+} // namespace mach
+
+#endif // MACH_BASE_STATUS_HH

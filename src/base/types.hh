@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Fundamental types shared by every layer of the Mach VM reproduction.
+ *
+ * Byte offsets are used throughout the system (paper section 3.1) so
+ * that no layer is linked to a particular notion of physical page
+ * size.  All addresses and sizes are 64-bit even when a simulated
+ * architecture exposes a smaller virtual address space; the per
+ * machine @ref mach::MachineSpec constrains the usable range.
+ */
+
+#ifndef MACH_BASE_TYPES_HH
+#define MACH_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mach
+{
+
+/** A virtual address or an offset within a memory object (bytes). */
+using VmOffset = std::uint64_t;
+
+/** A size of a virtual or physical region (bytes). */
+using VmSize = std::uint64_t;
+
+/** A physical address (bytes from the start of physical memory). */
+using PhysAddr = std::uint64_t;
+
+/** A machine-independent (Mach) physical page number. */
+using PageNum = std::uint64_t;
+
+/** A hardware page frame number (machine-dependent granularity). */
+using FrameNum = std::uint64_t;
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+/** Identifies a simulated CPU within a Machine. */
+using CpuId = unsigned;
+
+/** Sentinel for "no physical address". */
+constexpr PhysAddr kNoPhysAddr = ~PhysAddr(0);
+
+/**
+ * Access permissions for a region of virtual memory.
+ *
+ * Mirrors Mach's vm_prot_t.  Implemented as a bitmask; enforcement of
+ * each bit depends on what the simulated hardware supports (e.g. some
+ * MMUs cannot express execute-only).
+ */
+enum class VmProt : unsigned
+{
+    None = 0,
+    Read = 1 << 0,
+    Write = 1 << 1,
+    Execute = 1 << 2,
+    All = Read | Write | Execute,
+    Default = Read | Write,
+};
+
+constexpr VmProt
+operator|(VmProt a, VmProt b)
+{
+    return static_cast<VmProt>(
+        static_cast<unsigned>(a) | static_cast<unsigned>(b));
+}
+
+constexpr VmProt
+operator&(VmProt a, VmProt b)
+{
+    return static_cast<VmProt>(
+        static_cast<unsigned>(a) & static_cast<unsigned>(b));
+}
+
+constexpr VmProt
+operator~(VmProt a)
+{
+    return static_cast<VmProt>(
+        ~static_cast<unsigned>(a) & static_cast<unsigned>(VmProt::All));
+}
+
+constexpr VmProt &
+operator|=(VmProt &a, VmProt b)
+{
+    a = a | b;
+    return a;
+}
+
+constexpr VmProt &
+operator&=(VmProt &a, VmProt b)
+{
+    a = a & b;
+    return a;
+}
+
+/** True if @p a grants every permission in @p b. */
+constexpr bool
+protIncludes(VmProt a, VmProt b)
+{
+    return (static_cast<unsigned>(a) & static_cast<unsigned>(b)) ==
+        static_cast<unsigned>(b);
+}
+
+/** True if no permission bit is set. */
+constexpr bool
+protEmpty(VmProt a)
+{
+    return a == VmProt::None;
+}
+
+/**
+ * Inheritance attribute of a region (paper section 2.1).
+ *
+ * Controls what a child task receives at fork: Share gives read/write
+ * shared access via a sharing map, Copy gives a copy-on-write copy,
+ * and None leaves the child's range unallocated.
+ */
+enum class VmInherit : unsigned
+{
+    Share = 0,
+    Copy = 1,
+    None = 2,
+};
+
+/** The kind of access that caused a fault. */
+enum class FaultType : unsigned
+{
+    Read = 0,
+    Write = 1,
+    Execute = 2,
+};
+
+/** Convert a fault type into the permission it requires. */
+constexpr VmProt
+faultProt(FaultType t)
+{
+    switch (t) {
+      case FaultType::Read: return VmProt::Read;
+      case FaultType::Write: return VmProt::Write;
+      case FaultType::Execute: return VmProt::Execute;
+    }
+    return VmProt::None;
+}
+
+/** Round @p x down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+truncTo(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round @p x up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+roundTo(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** True if @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace mach
+
+#endif // MACH_BASE_TYPES_HH

@@ -1,0 +1,125 @@
+#include "fs/buffer_cache.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+BufferCache::BufferCache(SimFs &fs, SimClock &clock,
+                         const CostModel &costs, unsigned num_buffers)
+    : fs(fs), clock(clock), costs(costs), numBuffers(num_buffers)
+{
+    MACH_ASSERT(num_buffers > 0);
+}
+
+void
+BufferCache::flush(Buffer &buf)
+{
+    if (!buf.dirty)
+        return;
+    // Write-behind: the flush overlaps with computation.
+    fs.getDisk().writeAsync(buf.blockAddr, buf.data.data(),
+                            SimFs::kBlockSize);
+    buf.dirty = false;
+}
+
+BufferCache::LruList::iterator
+BufferCache::getBlock(std::uint64_t block_addr, bool whole_block_write)
+{
+    // getblk() overhead: hash probe, locking, bookkeeping.
+    clock.charge(CostKind::Software, costs.unixBufferOp);
+
+    auto it = index.find(block_addr);
+    if (it != index.end()) {
+        ++hitCount;
+        lru.splice(lru.begin(), lru, it->second);
+        return lru.begin();
+    }
+
+    ++missCount;
+    if (lru.size() >= numBuffers) {
+        // Evict (and flush) the least recently used buffer.
+        flush(lru.back());
+        index.erase(lru.back().blockAddr);
+        lru.pop_back();
+    }
+    lru.push_front(Buffer{block_addr, {}, false});
+    Buffer &buf = lru.front();
+    buf.data.resize(SimFs::kBlockSize);
+    if (whole_block_write) {
+        // bwrite of a full block: no need to read the old contents.
+        std::fill(buf.data.begin(), buf.data.end(), 0);
+    } else {
+        fs.getDisk().read(block_addr, buf.data.data(),
+                          SimFs::kBlockSize);
+    }
+    index[block_addr] = lru.begin();
+    return lru.begin();
+}
+
+VmSize
+BufferCache::read(FileId file, VmOffset offset, void *buf, VmSize len)
+{
+    VmSize file_size = fs.size(file);
+    if (offset >= file_size)
+        return 0;
+    len = std::min<VmSize>(len, file_size - offset);
+
+    auto *out = static_cast<std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = offset + done;
+        VmOffset in_block = pos % SimFs::kBlockSize;
+        VmSize chunk = std::min<VmSize>(len - done,
+                                        SimFs::kBlockSize - in_block);
+        auto b = getBlock(fs.blockAddress(file, pos));
+        // The second copy: buffer cache to user memory.
+        std::memcpy(out + done, b->data.data() + in_block, chunk);
+        clock.charge(CostKind::MemCopy, costs.copyCost(chunk));
+        done += chunk;
+    }
+    return len;
+}
+
+void
+BufferCache::write(FileId file, VmOffset offset, const void *buf,
+                   VmSize len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = offset + done;
+        VmOffset in_block = pos % SimFs::kBlockSize;
+        VmSize chunk = std::min<VmSize>(len - done,
+                                        SimFs::kBlockSize - in_block);
+        bool whole = in_block == 0 && chunk == SimFs::kBlockSize;
+        auto b = getBlock(fs.blockAddress(file, pos), whole);
+        std::memcpy(b->data.data() + in_block, in + done, chunk);
+        b->dirty = true;
+        clock.charge(CostKind::MemCopy, costs.copyCost(chunk));
+        done += chunk;
+    }
+    // Keep the inode's logical size current (data reaches the disk
+    // blocks only when the dirty buffers are flushed).
+    fs.setSize(file, offset + len);
+}
+
+void
+BufferCache::sync()
+{
+    for (Buffer &b : lru)
+        flush(b);
+}
+
+void
+BufferCache::invalidate()
+{
+    sync();
+    lru.clear();
+    index.clear();
+}
+
+} // namespace mach

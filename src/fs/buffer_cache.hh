@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A 4.3bsd-style fixed-size disk buffer cache.
+ *
+ * This is the UNIX baseline's file cache: a fixed number of buffers,
+ * LRU replaced, with every read(2) copying disk data into a buffer
+ * and then again into the user's memory.  The paper's Table 7-1/7-2
+ * comparisons hinge on its two weaknesses relative to Mach's memory
+ * object cache: the double copy, and the fixed (usually small)
+ * capacity — 4.3bsd's "generic" configuration allocated on the order
+ * of a hundred buffers regardless of memory size, so a 2.5MB file
+ * could never stay cached, while Mach caches whole memory objects
+ * limited only by physical memory.
+ */
+
+#ifndef MACH_FS_BUFFER_CACHE_HH
+#define MACH_FS_BUFFER_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/simfs.hh"
+#include "sim/cost_model.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+/** LRU cache of disk blocks, as in 4.3bsd. */
+class BufferCache
+{
+  public:
+    /**
+     * @param fs the file system to read through
+     * @param clock clock for cost charges
+     * @param costs cost table (copy bandwidth, getblk overhead)
+     * @param num_buffers fixed buffer count ("400 buffers")
+     */
+    BufferCache(SimFs &fs, SimClock &clock, const CostModel &costs,
+                unsigned num_buffers);
+
+    /** read(2): copy through the cache into @p buf. */
+    VmSize read(FileId file, VmOffset offset, void *buf, VmSize len);
+
+    /** write(2): copy into the cache (write-behind, as in 4.3bsd:
+     *  dirty buffers reach the disk on eviction or sync). */
+    void write(FileId file, VmOffset offset, const void *buf,
+               VmSize len);
+
+    /** Flush all dirty buffers to disk. */
+    void sync();
+
+    /** Flush and drop every buffer. */
+    void invalidate();
+
+    unsigned capacity() const { return numBuffers; }
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    struct Buffer
+    {
+        std::uint64_t blockAddr;
+        std::vector<std::uint8_t> data;
+        bool dirty = false;
+    };
+
+    using LruList = std::list<Buffer>;
+
+    /**
+     * Get the buffer for @p block_addr, reading it if absent (the
+     * read is skipped when the caller will overwrite the whole
+     * block).
+     */
+    LruList::iterator getBlock(std::uint64_t block_addr,
+                               bool whole_block_write = false);
+
+    /** Write a dirty buffer back to disk. */
+    void flush(Buffer &buf);
+
+    SimFs &fs;
+    SimClock &clock;
+    const CostModel &costs;
+    unsigned numBuffers;
+    LruList lru;  //!< front = most recently used
+    std::unordered_map<std::uint64_t, LruList::iterator> index;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_FS_BUFFER_CACHE_HH

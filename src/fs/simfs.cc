@@ -1,0 +1,200 @@
+#include "fs/simfs.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+SimFs::SimFs(SimDisk &disk) : disk(disk)
+{
+}
+
+SimFs::Inode &
+SimFs::inode(FileId file)
+{
+    MACH_ASSERT(file < inodes.size() && inodes[file].alive);
+    return inodes[file];
+}
+
+const SimFs::Inode &
+SimFs::inode(FileId file) const
+{
+    MACH_ASSERT(file < inodes.size() && inodes[file].alive);
+    return inodes[file];
+}
+
+FileId
+SimFs::create(const std::string &name)
+{
+    auto it = names.find(name);
+    if (it != names.end()) {
+        Inode &ino = inode(it->second);
+        for (std::uint64_t b : ino.blocks)
+            freeBlocks.push_back(b);
+        ino.blocks.clear();
+        ino.size = 0;
+        return it->second;
+    }
+    FileId id = FileId(inodes.size());
+    inodes.push_back(Inode{name, 0, {}, true});
+    names[name] = id;
+    return id;
+}
+
+FileId
+SimFs::lookup(const std::string &name) const
+{
+    auto it = names.find(name);
+    return it == names.end() ? kNoFile : it->second;
+}
+
+void
+SimFs::remove(const std::string &name)
+{
+    auto it = names.find(name);
+    if (it == names.end())
+        return;
+    Inode &ino = inode(it->second);
+    for (std::uint64_t b : ino.blocks)
+        freeBlocks.push_back(b);
+    ino.blocks.clear();
+    ino.size = 0;
+    ino.alive = false;
+    names.erase(it);
+}
+
+VmSize
+SimFs::size(FileId file) const
+{
+    return inode(file).size;
+}
+
+std::uint64_t
+SimFs::allocBlock()
+{
+    if (!freeBlocks.empty()) {
+        std::uint64_t b = freeBlocks.back();
+        freeBlocks.pop_back();
+        return b;
+    }
+    std::uint64_t b = nextBlock;
+    nextBlock += kBlockSize;
+    if (nextBlock > disk.capacity())
+        fatal("SimFs: disk full (%llu bytes)",
+              (unsigned long long)disk.capacity());
+    return b;
+}
+
+void
+SimFs::ensureBlocks(Inode &ino, VmSize size)
+{
+    std::size_t needed = (size + kBlockSize - 1) / kBlockSize;
+    while (ino.blocks.size() < needed)
+        ino.blocks.push_back(allocBlock());
+}
+
+VmSize
+SimFs::read(FileId file, VmOffset offset, void *buf, VmSize len)
+{
+    const Inode &ino = inode(file);
+    if (offset >= ino.size)
+        return 0;
+    len = std::min<VmSize>(len, ino.size - offset);
+
+    auto *out = static_cast<std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = offset + done;
+        std::size_t bi = pos / kBlockSize;
+        VmOffset in_block = pos % kBlockSize;
+        VmSize chunk = std::min<VmSize>(len - done,
+                                        kBlockSize - in_block);
+        disk.read(ino.blocks[bi] + in_block, out + done, chunk);
+        done += chunk;
+    }
+    return len;
+}
+
+void
+SimFs::write(FileId file, VmOffset offset, const void *buf, VmSize len)
+{
+    Inode &ino = inode(file);
+    ensureBlocks(ino, offset + len);
+
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = offset + done;
+        std::size_t bi = pos / kBlockSize;
+        VmOffset in_block = pos % kBlockSize;
+        VmSize chunk = std::min<VmSize>(len - done,
+                                        kBlockSize - in_block);
+        disk.write(ino.blocks[bi] + in_block, in + done, chunk);
+        done += chunk;
+    }
+    ino.size = std::max<VmSize>(ino.size, offset + len);
+}
+
+void
+SimFs::writeAsync(FileId file, VmOffset offset, const void *buf,
+                  VmSize len)
+{
+    Inode &ino = inode(file);
+    ensureBlocks(ino, offset + len);
+
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = offset + done;
+        std::size_t bi = pos / kBlockSize;
+        VmOffset in_block = pos % kBlockSize;
+        VmSize chunk = std::min<VmSize>(len - done,
+                                        kBlockSize - in_block);
+        disk.writeAsync(ino.blocks[bi] + in_block, in + done, chunk);
+        done += chunk;
+    }
+    ino.size = std::max<VmSize>(ino.size, offset + len);
+}
+
+std::uint64_t
+SimFs::blockAddress(FileId file, VmOffset offset)
+{
+    Inode &ino = inode(file);
+    ensureBlocks(ino, offset + 1);
+    return ino.blocks[offset / kBlockSize];
+}
+
+void
+SimFs::setSize(FileId file, VmSize size)
+{
+    Inode &ino = inode(file);
+    ensureBlocks(ino, size);
+    if (size > ino.size)
+        ino.size = size;
+}
+
+void
+SimFs::truncate(FileId file, VmSize size)
+{
+    Inode &ino = inode(file);
+    ensureBlocks(ino, size);
+    if (size > ino.size) {
+        // Zero-fill the gap block by block.
+        std::uint8_t zeros[kBlockSize] = {};
+        VmOffset pos = ino.size;
+        while (pos < size) {
+            std::size_t bi = pos / kBlockSize;
+            VmOffset in_block = pos % kBlockSize;
+            VmSize chunk = std::min<VmSize>(size - pos,
+                                            kBlockSize - in_block);
+            disk.write(ino.blocks[bi] + in_block, zeros, chunk);
+            pos += chunk;
+        }
+        ino.size = size;
+    }
+}
+
+} // namespace mach

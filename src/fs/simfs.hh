@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A small inode-style file system over a SimDisk.
+ *
+ * Provides the backing store the evaluation needs: files for the
+ * memory-mapped-file (vnode pager) path, sources and objects for the
+ * compilation workloads, and raw block reads for the UNIX baseline's
+ * buffer cache.  The current inode pager in the paper "utilizes
+ * 4.3bsd UNIX file systems and eliminates the traditional Berkeley
+ * UNIX need for separate paging partitions"; here the vnode pager
+ * reads and writes files through this FS directly.
+ */
+
+#ifndef MACH_FS_SIMFS_HH
+#define MACH_FS_SIMFS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/sim_disk.hh"
+
+namespace mach
+{
+
+/** Identifies an open file (an inode number). */
+using FileId = std::uint32_t;
+
+/** Invalid file id. */
+constexpr FileId kNoFile = ~FileId(0);
+
+/** A simple extent-less inode file system. */
+class SimFs
+{
+  public:
+    static constexpr VmSize kBlockSize = 1024;
+
+    explicit SimFs(SimDisk &disk);
+
+    /** Create (or truncate) a file; returns its id. */
+    FileId create(const std::string &name);
+
+    /** Look up a file by name; kNoFile if absent. */
+    FileId lookup(const std::string &name) const;
+
+    /** Remove a file, freeing its blocks. */
+    void remove(const std::string &name);
+
+    /** Current size in bytes. */
+    VmSize size(FileId file) const;
+
+    /**
+     * Read up to @p len bytes at @p offset; returns bytes read
+     * (short at EOF).  Charges disk time per block touched.
+     */
+    VmSize read(FileId file, VmOffset offset, void *buf, VmSize len);
+
+    /** Write @p len bytes at @p offset, extending the file. */
+    void write(FileId file, VmOffset offset, const void *buf,
+               VmSize len);
+
+    /** Write-behind variant (pageout): transfer cost only. */
+    void writeAsync(FileId file, VmOffset offset, const void *buf,
+                    VmSize len);
+
+    /**
+     * The disk address of the block containing byte @p offset, for
+     * the buffer cache (allocates the block if absent).
+     */
+    std::uint64_t blockAddress(FileId file, VmOffset offset);
+
+    /** Extend @p file to at least @p size bytes (zero filled). */
+    void truncate(FileId file, VmSize size);
+
+    /**
+     * Extend the logical size without touching the disk (fresh
+     * blocks read as zero; used when a pager will supply the data).
+     */
+    void setSize(FileId file, VmSize size);
+
+    SimDisk &getDisk() { return disk; }
+
+    /** Number of files. */
+    std::size_t fileCount() const { return inodes.size(); }
+
+  private:
+    struct Inode
+    {
+        std::string name;
+        VmSize size = 0;
+        std::vector<std::uint64_t> blocks;  //!< disk byte addresses
+        bool alive = true;
+    };
+
+    Inode &inode(FileId file);
+    const Inode &inode(FileId file) const;
+    std::uint64_t allocBlock();
+    void ensureBlocks(Inode &ino, VmSize size);
+
+    SimDisk &disk;
+    std::vector<Inode> inodes;
+    std::unordered_map<std::string, FileId> names;
+    std::uint64_t nextBlock = kBlockSize;  // block 0 reserved
+    std::vector<std::uint64_t> freeBlocks;
+};
+
+} // namespace mach
+
+#endif // MACH_FS_SIMFS_HH

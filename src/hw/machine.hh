@@ -1,0 +1,179 @@
+/**
+ * @file
+ * A simulated machine: physical memory, N CPUs with private TLBs,
+ * inter-processor interrupts and timer ticks.
+ *
+ * The Machine implements the fault-driven execution model the paper's
+ * VM design relies on: the only hard requirement Mach places on
+ * hardware is "an ability to handle and recover from page faults"
+ * (section 1).  Simulated programs touch memory through access();
+ * translation misses and protection violations invoke the installed
+ * fault handler (the machine-independent vm_fault), and the access is
+ * retried.
+ */
+
+#ifndef MACH_HW_MACHINE_HH
+#define MACH_HW_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/status.hh"
+#include "base/types.hh"
+#include "hw/machine_spec.hh"
+#include "hw/phys_memory.hh"
+#include "hw/tlb.hh"
+#include "hw/translation.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+/** One simulated processor: a TLB and a bound address space. */
+class Cpu
+{
+  public:
+    Cpu(CpuId id, const MachineSpec &spec, SimClock &clock)
+        : id(id),
+          tlb(spec.tlbEntries, spec.hwPageShift, clock, spec.costs)
+    {
+    }
+
+    const CpuId id;
+    Tlb tlb;
+    /** The translation source (pmap) currently loaded on this CPU. */
+    TranslationSource *space = nullptr;
+};
+
+/**
+ * The whole simulated machine.  All simulated time flows through its
+ * clock; all user-memory access goes through access()/touch().
+ */
+class Machine
+{
+  public:
+    /**
+     * The machine-independent page-fault handler.  Receives the CPU,
+     * the faulting address, and the fault type *as the hardware
+     * reports it* (which on a buggy NS32082 may be Read for an RMW
+     * access); returns Success to retry the access.
+     */
+    using FaultHandler =
+        std::function<KernReturn(CpuId, VmOffset, FaultType)>;
+
+    explicit Machine(const MachineSpec &spec);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineSpec spec;
+
+    SimClock &clock() { return simClock; }
+    const SimClock &clock() const { return simClock; }
+    PhysMemory &memory() { return physMem; }
+
+    unsigned numCpus() const { return cpus.size(); }
+    Cpu &cpu(CpuId id);
+
+    /** Install the machine-independent fault handler. */
+    void setFaultHandler(FaultHandler handler);
+
+    /**
+     * Bind @p space to @p cpu_id (pmap_activate's hardware half).
+     * Flushes the TLB unless the architecture tags entries by
+     * context.
+     */
+    void bindSpace(CpuId cpu_id, TranslationSource *space);
+
+    /** The space currently bound to @p cpu_id. */
+    TranslationSource *boundSpace(CpuId cpu_id);
+
+    /**
+     * The CPU on which kernel code is currently executing.  Kernel
+     * operations run "on" a CPU so that TLB shootdowns can tell a
+     * cheap local flush from a remote IPI.
+     */
+    CpuId currentCpu() const { return curCpu; }
+    void setCurrentCpu(CpuId id);
+
+    /** @name Simulated user memory access @{ */
+    /** Copy @p len bytes at @p va into @p buf. */
+    KernReturn read(CpuId cpu_id, VmOffset va, void *buf, VmSize len);
+    /** Copy @p len bytes from @p buf to @p va. */
+    KernReturn write(CpuId cpu_id, VmOffset va, const void *buf,
+                     VmSize len);
+    /**
+     * Perform an access of @p type to every hardware page in
+     * [va, va+len) without moving data — the benchmark workloads'
+     * "touch the memory" primitive.
+     */
+    KernReturn touch(CpuId cpu_id, VmOffset va, VmSize len,
+                     AccessType type);
+    /** Translate @p va for @p type, faulting as needed. */
+    KernReturn probe(CpuId cpu_id, VmOffset va, AccessType type,
+                     PhysAddr *pa_out = nullptr);
+    /** @} */
+
+    /** @name Interrupts @{ */
+    /**
+     * Deliver an inter-processor interrupt to @p target and run
+     * @p fn in its context (simulated synchronously; charges IPI
+     * cost).
+     */
+    void ipi(CpuId target, const std::function<void(Cpu &)> &fn);
+
+    /**
+     * Queue work to run at the next timer tick (the paper's case 2:
+     * postpone use of a changed mapping until all CPUs have taken a
+     * timer interrupt).
+     */
+    void deferUntilTick(std::function<void()> fn);
+
+    /** Deliver a timer tick: run and clear all deferred work. */
+    void timerTick();
+
+    std::size_t deferredCount() const { return deferred.size(); }
+
+    /** Number of timer ticks delivered so far. */
+    std::uint64_t tickCount() const { return ticks; }
+    /** @} */
+
+    /** @name Statistics @{ */
+    std::uint64_t ipiCount() const { return ipis; }
+    std::uint64_t tlbHits() const;
+    std::uint64_t tlbMisses() const;
+    std::uint64_t faultCount() const { return faults; }
+    /** @} */
+
+    VmSize hwPageSize() const { return spec.hwPageSize(); }
+
+  private:
+    /**
+     * One translation attempt on @p cpu.  On success fills @p out
+     * with the physical address of @p va.  On failure reports the
+     * fault type the hardware would report (including the NS32082
+     * RMW bug) via @p fault_out.
+     */
+    bool translate(Cpu &cpu, VmOffset va, AccessType type,
+                   PhysAddr &out, FaultType &fault_out);
+
+    /** Access one hw-page-contained range, faulting and retrying. */
+    KernReturn accessOne(CpuId cpu_id, VmOffset va, VmSize len,
+                         AccessType type, void *buf);
+
+    SimClock simClock;
+    PhysMemory physMem;
+    std::vector<std::unique_ptr<Cpu>> cpus;
+    FaultHandler faultHandler;
+    std::vector<std::function<void()>> deferred;
+    std::uint64_t ipis = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t ticks = 0;
+    CpuId curCpu = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_HW_MACHINE_HH

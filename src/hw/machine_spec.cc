@@ -1,0 +1,281 @@
+#include "hw/machine_spec.hh"
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+const char *
+archTypeName(ArchType arch)
+{
+    switch (arch) {
+      case ArchType::Vax: return "vax";
+      case ArchType::RtPc: return "rtpc";
+      case ArchType::Sun3: return "sun3";
+      case ArchType::Ns32082: return "ns32082";
+      case ArchType::TlbOnly: return "tlbonly";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/**
+ * Shared VAX-family geometry: 512-byte pages, 2GB user space, linear
+ * page tables that Mach builds lazily (paper section 5.1).
+ */
+MachineSpec
+vaxBase()
+{
+    MachineSpec s;
+    s.arch = ArchType::Vax;
+    s.hwPageShift = 9;                  // 512-byte pages
+    s.userVaLimit = 2ull << 30;         // 2GB of user space
+    s.tlbEntries = 64;
+    return s;
+}
+
+} // namespace
+
+MachineSpec
+MachineSpec::microVax2()
+{
+    MachineSpec s = vaxBase();
+    s.name = "MicroVAX II";
+    s.physMemBytes = 16ull << 20;
+    // ~0.9 MIPS CPU with ~1.6 MB/s copy bandwidth.  Calibrated
+    // against Table 7-1: zero-fill 1K 0.58ms, fork 256K 59ms (Mach).
+    s.costs.copyPerByte = 630.0;
+    s.costs.zeroPerByte = 107.0;
+    s.costs.faultTrap = 60000;
+    s.costs.faultSoftware = 140000;
+    s.costs.pmapEnter = 25000;
+    s.costs.pmapProtectPerPage = 66000;
+    s.costs.pmapRemovePerPage = 30000;
+    s.costs.pageQueueOp = 10000;
+    s.costs.forkFixed = 25000000;
+    s.costs.unixFaultExtra = 310000;
+    s.costs.unixForkPerPage = 60000;
+    s.costs.msgOp = 300000;
+    s.costs.diskLatency = 2000000;
+    s.costs.diskPerByte = 2300.0;
+    return s;
+}
+
+MachineSpec
+MachineSpec::vax8200()
+{
+    MachineSpec s = vaxBase();
+    s.name = "VAX 8200";
+    s.physMemBytes = 16ull << 20;
+    // ~1 MIPS; calibrated against the Table 7-1 file-read rows.
+    s.costs.copyPerByte = 400.0;
+    s.costs.zeroPerByte = 95.0;
+    s.costs.faultTrap = 60000;
+    s.costs.faultSoftware = 400000;
+    s.costs.pmapEnter = 25000;
+    s.costs.pmapProtectPerPage = 55000;
+    s.costs.pmapRemovePerPage = 25000;
+    s.costs.pageQueueOp = 10000;
+    s.costs.forkFixed = 22000000;
+    s.costs.msgOp = 500000;
+    s.costs.unixFaultExtra = 250000;
+    s.costs.unixForkPerPage = 55000;
+    s.costs.unixBufferOp = 1550000;  // getblk et al. per 1K block
+    s.costs.diskLatency = 1000000;
+    s.costs.diskPerByte = 1500.0;
+    return s;
+}
+
+MachineSpec
+MachineSpec::vax8650()
+{
+    MachineSpec s = vaxBase();
+    s.name = "VAX 8650";
+    s.physMemBytes = 36ull << 20;       // paper: 36MB machine
+    // ~6 MIPS; used for the Table 7-2 compilation workloads.
+    s.costs.copyPerByte = 70.0;
+    s.costs.zeroPerByte = 18.0;
+    s.costs.faultTrap = 12000;
+    s.costs.faultSoftware = 60000;
+    s.costs.pmapEnter = 6000;
+    s.costs.pmapProtectPerPage = 9000;
+    s.costs.pmapRemovePerPage = 5000;
+    s.costs.pageQueueOp = 2000;
+    s.costs.forkFixed = 4000000;
+    s.costs.execFixed = 3000000;
+    s.costs.msgOp = 80000;
+    s.costs.syscall = 8000;
+    s.costs.unixFaultExtra = 40000;
+    s.costs.unixForkPerPage = 12000;
+    s.costs.unixBufferOp = 400000;
+    s.costs.diskLatency = 1000000;
+    s.costs.diskPerByte = 1000.0;
+    return s;
+}
+
+MachineSpec
+MachineSpec::rtPc()
+{
+    MachineSpec s;
+    s.name = "IBM RT PC";
+    s.arch = ArchType::RtPc;
+    s.hwPageShift = 11;                 // 2K ROMP pages
+    s.userVaLimit = 4ull << 30;         // full 4GB (inverted table)
+    s.physMemBytes = 16ull << 20;
+    s.tlbEntries = 64;
+    // Calibrated against Table 7-1: zero-fill 1K 0.45ms, fork 256K
+    // 41ms (Mach) / 145ms (ACIS 4.2a).
+    s.costs.copyPerByte = 400.0;
+    s.costs.zeroPerByte = 105.0;
+    s.costs.faultTrap = 40000;
+    s.costs.faultSoftware = 150000;
+    s.costs.pmapEnter = 30000;
+    s.costs.pmapProtectPerPage = 160000; // hash-table edits are slow
+    s.costs.pmapRemovePerPage = 60000;
+    s.costs.pageQueueOp = 10000;
+    s.costs.forkFixed = 20000000;
+    s.costs.unixFaultExtra = 120000;
+    s.costs.unixForkPerPage = 156000;
+    s.costs.diskLatency = 2000000;
+    s.costs.diskPerByte = 2000.0;
+    return s;
+}
+
+MachineSpec
+MachineSpec::sun3_160()
+{
+    MachineSpec s;
+    s.name = "SUN 3/160";
+    s.arch = ArchType::Sun3;
+    s.hwPageShift = 13;                 // 8K pages
+    s.userVaLimit = 256ull << 20;       // 256MB per context
+    s.physMemBytes = 16ull << 20;
+    s.tlbEntries = 64;
+    s.numContexts = 8;                  // only 8 contexts at a time
+    s.tlbTaggedByContext = true;
+    // The SUN 3 physical address space has a large hole where display
+    // memory sits (paper section 5.1).
+    s.physHoles.push_back({12ull << 20, 14ull << 20});
+    // Calibrated against Table 7-1: zero-fill 1K 0.23ms, fork 256K
+    // 68ms (Mach) / 89ms (SunOS 3.2).
+    s.costs.copyPerByte = 80.0;
+    s.costs.zeroPerByte = 20.0;
+    s.costs.faultTrap = 25000;
+    s.costs.faultSoftware = 35000;
+    s.costs.pmapEnter = 10000;
+    s.costs.pmapProtectPerPage = 550000; // segment map edits
+    s.costs.pmapRemovePerPage = 80000;
+    s.costs.pageQueueOp = 5000;
+    s.costs.forkFixed = 50000000;       // context setup is expensive
+    s.costs.contextSteal = 500000;
+    s.costs.unixFaultExtra = 40000;
+    s.costs.unixForkPerPage = 560000;
+    s.costs.unixBufferOp = 3000000;  // SunOS 3.2 file path
+    s.costs.diskLatency = 2000000;
+    s.costs.diskPerByte = 1500.0;
+    return s;
+}
+
+namespace
+{
+
+/** Shared NS32082 geometry (Encore MultiMax, Sequent Balance). */
+MachineSpec
+ns32082Base(unsigned cpus)
+{
+    MachineSpec s;
+    s.arch = ArchType::Ns32082;
+    s.hwPageShift = 9;                  // 512-byte pages
+    s.userVaLimit = 16ull << 20;        // 16MB per page table
+    s.pmapVaLimit = 16ull << 20;
+    s.physAddrLimit = 32ull << 20;      // only 32MB addressable
+    s.physMemBytes = 32ull << 20;
+    s.numCpus = cpus;
+    s.tlbEntries = 32;
+    s.rmwFaultBug = true;               // RMW faults report as read
+    // NS32032-class CPUs, roughly MicroVAX-II speed per processor.
+    s.costs.copyPerByte = 500.0;
+    s.costs.zeroPerByte = 100.0;
+    s.costs.faultTrap = 55000;
+    s.costs.faultSoftware = 130000;
+    s.costs.pmapEnter = 22000;
+    s.costs.pmapProtectPerPage = 40000;
+    s.costs.pmapRemovePerPage = 25000;
+    s.costs.pageQueueOp = 8000;
+    s.costs.forkFixed = 22000000;
+    s.costs.ipi = 100000;
+    s.costs.unixFaultExtra = 250000;
+    s.costs.unixForkPerPage = 55000;
+    s.costs.diskLatency = 2000000;
+    s.costs.diskPerByte = 2000.0;
+    return s;
+}
+
+} // namespace
+
+MachineSpec
+MachineSpec::encoreMultimax(unsigned cpus)
+{
+    MachineSpec s = ns32082Base(cpus);
+    s.name = "Encore MultiMax";
+    return s;
+}
+
+MachineSpec
+MachineSpec::sequentBalance(unsigned cpus)
+{
+    MachineSpec s = ns32082Base(cpus);
+    s.name = "Sequent Balance 21000";
+    return s;
+}
+
+MachineSpec
+MachineSpec::ibmRp3(unsigned cpus)
+{
+    MachineSpec s;
+    s.name = "IBM RP3 (simulated)";
+    s.arch = ArchType::TlbOnly;
+    s.hwPageShift = 12;                 // 4K pages
+    s.userVaLimit = 4ull << 30;
+    s.physMemBytes = 64ull << 20;
+    s.numCpus = cpus;
+    s.tlbEntries = 128;
+    // Software TLB refill: the "walk" is a software dictionary probe.
+    s.costs.ptWalk = 20000;
+    s.costs.copyPerByte = 200.0;
+    s.costs.zeroPerByte = 60.0;
+    s.costs.faultTrap = 30000;
+    s.costs.faultSoftware = 90000;
+    s.costs.pmapEnter = 8000;
+    s.costs.pmapProtectPerPage = 10000;
+    s.costs.pmapRemovePerPage = 8000;
+    s.costs.ipi = 80000;
+    s.costs.forkFixed = 12000000;
+    return s;
+}
+
+MachineSpec
+MachineSpec::byName(const std::string &name)
+{
+    if (name == "microvax2")
+        return microVax2();
+    if (name == "vax8200")
+        return vax8200();
+    if (name == "vax8650")
+        return vax8650();
+    if (name == "rtpc")
+        return rtPc();
+    if (name == "sun3")
+        return sun3_160();
+    if (name == "multimax")
+        return encoreMultimax();
+    if (name == "balance")
+        return sequentBalance();
+    if (name == "rp3")
+        return ibmRp3();
+    fatal("unknown machine name '%s'", name.c_str());
+}
+
+} // namespace mach

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Static description of a simulated machine.
+ *
+ * One MachineSpec per architecture the paper ports Mach to (section
+ * 4): the VAX family, the IBM RT PC, the SUN 3, the National NS32082
+ * based multiprocessors (Encore MultiMax, Sequent Balance), and the
+ * TLB-only IBM RP3 simulator case.  The spec captures exactly the
+ * hardware properties the paper calls out as mattering to the pmap
+ * layer: page size, address-space limits, inverted vs linear tables,
+ * the number of hardware contexts, physical memory holes, and the
+ * NS32082 read-modify-write fault-reporting bug.
+ */
+
+#ifndef MACH_HW_MACHINE_SPEC_HH
+#define MACH_HW_MACHINE_SPEC_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/cost_model.hh"
+
+namespace mach
+{
+
+/** Which pmap module a machine needs. */
+enum class ArchType : unsigned
+{
+    Vax = 0,     //!< linear two-level page tables, lazily built
+    RtPc,        //!< inverted page table, one mapping per frame
+    Sun3,        //!< segment + page tables, 8 hardware contexts
+    Ns32082,     //!< National MMU (MultiMax / Balance)
+    TlbOnly,     //!< software-managed TLB only (RP3 simulator)
+};
+
+/** Name of an ArchType. */
+const char *archTypeName(ArchType arch);
+
+/** A half-open physical address range [start, end). */
+struct AddrRange
+{
+    PhysAddr start;
+    PhysAddr end;
+
+    bool
+    contains(PhysAddr pa) const
+    {
+        return pa >= start && pa < end;
+    }
+    bool
+    overlaps(PhysAddr s, PhysAddr e) const
+    {
+        return s < end && e > start;
+    }
+};
+
+/** Static hardware description of one simulated machine. */
+struct MachineSpec
+{
+    std::string name;            //!< e.g. "IBM RT PC"
+    ArchType arch = ArchType::Vax;
+    unsigned hwPageShift = 9;    //!< log2 hardware page size
+    VmOffset userVaLimit = 1ull << 31;  //!< user VA space size
+    VmOffset pmapVaLimit = 0;    //!< per-map VA limit (0 = userVaLimit)
+    PhysAddr physAddrLimit = 0;  //!< mappable PA limit (0 = unlimited)
+    unsigned numCpus = 1;
+    std::uint64_t physMemBytes = 16ull << 20;
+    unsigned tlbEntries = 64;
+    unsigned numContexts = 0;    //!< hardware contexts (0 = unlimited)
+    bool rmwFaultBug = false;    //!< NS32082: RMW faults report as read
+    bool tlbTaggedByContext = false; //!< TLB survives context switch
+    std::vector<AddrRange> physHoles; //!< e.g. SUN 3 display memory
+    CostModel costs;
+
+    VmSize hwPageSize() const { return VmSize(1) << hwPageShift; }
+
+    /** Effective per-pmap VA limit. */
+    VmOffset
+    effectiveVaLimit() const
+    {
+        return pmapVaLimit ? pmapVaLimit : userVaLimit;
+    }
+
+    /** @name Machines from the paper's evaluation @{ */
+    static MachineSpec microVax2();
+    static MachineSpec vax8200();
+    static MachineSpec vax8650();
+    static MachineSpec rtPc();
+    static MachineSpec sun3_160();
+    static MachineSpec encoreMultimax(unsigned cpus = 4);
+    static MachineSpec sequentBalance(unsigned cpus = 4);
+    static MachineSpec ibmRp3(unsigned cpus = 4);
+    /** @} */
+
+    /** Look up a spec factory by name (for harness CLIs). */
+    static MachineSpec byName(const std::string &name);
+};
+
+} // namespace mach
+
+#endif // MACH_HW_MACHINE_SPEC_HH

@@ -1,0 +1,80 @@
+#include "hw/phys_memory.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+PhysMemory::PhysMemory(const MachineSpec &spec, SimClock &clock)
+    : spec(spec), clock(clock), store(spec.physMemBytes, 0)
+{
+}
+
+bool
+PhysMemory::usable(PhysAddr pa, VmSize len) const
+{
+    if (pa + len > store.size() || pa + len < pa)
+        return false;
+    for (const AddrRange &hole : spec.physHoles) {
+        if (hole.overlaps(pa, pa + len))
+            return false;
+    }
+    return true;
+}
+
+std::uint8_t *
+PhysMemory::data(PhysAddr pa)
+{
+    MACH_ASSERT(usable(pa, 1));
+    return store.data() + pa;
+}
+
+const std::uint8_t *
+PhysMemory::data(PhysAddr pa) const
+{
+    MACH_ASSERT(usable(pa, 1));
+    return store.data() + pa;
+}
+
+void
+PhysMemory::read(PhysAddr pa, void *buf, VmSize len)
+{
+    if (!usable(pa, len))
+        panic("phys read of unusable range [%#llx, %#llx)",
+              (unsigned long long)pa, (unsigned long long)(pa + len));
+    std::memcpy(buf, store.data() + pa, len);
+    clock.charge(CostKind::MemCopy, spec.costs.copyCost(len));
+}
+
+void
+PhysMemory::write(PhysAddr pa, const void *buf, VmSize len)
+{
+    if (!usable(pa, len))
+        panic("phys write of unusable range [%#llx, %#llx)",
+              (unsigned long long)pa, (unsigned long long)(pa + len));
+    std::memcpy(store.data() + pa, buf, len);
+    clock.charge(CostKind::MemCopy, spec.costs.copyCost(len));
+}
+
+void
+PhysMemory::zero(PhysAddr pa, VmSize len)
+{
+    if (!usable(pa, len))
+        panic("phys zero of unusable range [%#llx, %#llx)",
+              (unsigned long long)pa, (unsigned long long)(pa + len));
+    std::memset(store.data() + pa, 0, len);
+    clock.charge(CostKind::MemZero, spec.costs.zeroCost(len));
+}
+
+void
+PhysMemory::copy(PhysAddr src, PhysAddr dst, VmSize len)
+{
+    MACH_ASSERT(usable(src, len));
+    MACH_ASSERT(usable(dst, len));
+    std::memmove(store.data() + dst, store.data() + src, len);
+    clock.charge(CostKind::MemCopy, spec.costs.copyCost(len));
+}
+
+} // namespace mach

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated physical memory.
+ *
+ * A flat byte store with optional holes (the SUN 3's display memory
+ * sits inside the physical address range — paper section 5.1), plus
+ * cost-charged copy and zero primitives used by pmap_copy_page and
+ * pmap_zero_page.  Page-frame accounting lives above this, in the
+ * machine-independent resident page table; this class only owns the
+ * bytes.
+ */
+
+#ifndef MACH_HW_PHYS_MEMORY_HH
+#define MACH_HW_PHYS_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/machine_spec.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+/** The physical memory of one simulated machine. */
+class PhysMemory
+{
+  public:
+    PhysMemory(const MachineSpec &spec, SimClock &clock);
+
+    /** Total bytes of physical address space (including holes). */
+    std::uint64_t size() const { return store.size(); }
+
+    /** True if [pa, pa+len) is RAM (in range and not in a hole). */
+    bool usable(PhysAddr pa, VmSize len) const;
+
+    /** Raw pointer to physical byte @p pa (asserts usable). */
+    std::uint8_t *data(PhysAddr pa);
+    const std::uint8_t *data(PhysAddr pa) const;
+
+    /** Copy bytes out of physical memory, charging copy cost. */
+    void read(PhysAddr pa, void *buf, VmSize len);
+
+    /** Copy bytes into physical memory, charging copy cost. */
+    void write(PhysAddr pa, const void *buf, VmSize len);
+
+    /**
+     * Zero a physical range (pmap_zero_page), charging zero cost.
+     */
+    void zero(PhysAddr pa, VmSize len);
+
+    /**
+     * Copy page-to-page within physical memory (pmap_copy_page),
+     * charging copy cost.
+     */
+    void copy(PhysAddr src, PhysAddr dst, VmSize len);
+
+  private:
+    const MachineSpec &spec;
+    SimClock &clock;
+    std::vector<std::uint8_t> store;
+};
+
+} // namespace mach
+
+#endif // MACH_HW_PHYS_MEMORY_HH

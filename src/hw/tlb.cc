@@ -1,0 +1,81 @@
+#include "hw/tlb.hh"
+
+namespace mach
+{
+
+Tlb::Tlb(unsigned num_entries, unsigned page_shift, SimClock &clock,
+         const CostModel &costs)
+    : entries(num_entries), shift(page_shift), clock(clock), costs(costs)
+{
+}
+
+TlbEntry *
+Tlb::lookup(const void *tag, VmOffset vpn)
+{
+    for (TlbEntry &e : entries) {
+        if (e.valid && e.tag == tag && e.vpn == vpn) {
+            ++hitCount;
+            return &e;
+        }
+    }
+    ++missCount;
+    return nullptr;
+}
+
+TlbEntry *
+Tlb::insert(const void *tag, VmOffset vpn, const HwTranslation &tr)
+{
+    // Replace an existing entry for the same page if present so a
+    // page never appears twice.
+    TlbEntry *slot = nullptr;
+    for (TlbEntry &e : entries) {
+        if (e.valid && e.tag == tag && e.vpn == vpn) {
+            slot = &e;
+            break;
+        }
+    }
+    if (!slot) {
+        slot = &entries[nextVictim];
+        nextVictim = (nextVictim + 1) % entries.size();
+    }
+    slot->valid = true;
+    slot->tag = tag;
+    slot->vpn = vpn;
+    slot->pageBase = tr.pageBase;
+    slot->prot = tr.prot;
+    slot->modified = false;
+    return slot;
+}
+
+void
+Tlb::flushAll()
+{
+    for (TlbEntry &e : entries)
+        e.valid = false;
+    clock.charge(CostKind::TlbFlush, costs.tlbFlushAll);
+    ++flushCount;
+}
+
+void
+Tlb::flushTag(const void *tag)
+{
+    for (TlbEntry &e : entries) {
+        if (e.valid && e.tag == tag)
+            e.valid = false;
+    }
+    clock.charge(CostKind::TlbFlush, costs.tlbFlushAll);
+    ++flushCount;
+}
+
+void
+Tlb::flushPage(const void *tag, VmOffset vpn)
+{
+    for (TlbEntry &e : entries) {
+        if (e.valid && e.tag == tag && e.vpn == vpn)
+            e.valid = false;
+    }
+    clock.charge(CostKind::TlbFlush, costs.tlbFlushEntry);
+    ++flushCount;
+}
+
+} // namespace mach

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-CPU translation lookaside buffer.
+ *
+ * None of the multiprocessors the paper targets keep TLBs consistent
+ * in hardware, and none allow a remote CPU's TLB to be touched
+ * (section 5.2) — consistency is entirely the kernel's problem.  The
+ * simulated TLB therefore exposes only local flush operations; cross
+ * CPU invalidation must go through Machine::ipi or deferred work,
+ * exactly as the paper describes.
+ */
+
+#ifndef MACH_HW_TLB_HH
+#define MACH_HW_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/translation.hh"
+#include "sim/cost_model.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+/** One TLB slot. */
+struct TlbEntry
+{
+    bool valid = false;
+    const void *tag = nullptr;  //!< address-space tag
+    VmOffset vpn = 0;           //!< hardware virtual page number
+    PhysAddr pageBase = 0;      //!< physical page base
+    VmProt prot = VmProt::None;
+    bool modified = false;      //!< dirty state already propagated
+};
+
+/** A fully-associative TLB with round-robin replacement. */
+class Tlb
+{
+  public:
+    Tlb(unsigned num_entries, unsigned page_shift, SimClock &clock,
+        const CostModel &costs);
+
+    /** Find the entry mapping (@p tag, @p vpn), or nullptr. */
+    TlbEntry *lookup(const void *tag, VmOffset vpn);
+
+    /** Install a translation, evicting round-robin. */
+    TlbEntry *insert(const void *tag, VmOffset vpn,
+                     const HwTranslation &tr);
+
+    /** Invalidate everything (charges full-flush cost). */
+    void flushAll();
+
+    /** Invalidate all entries with @p tag. */
+    void flushTag(const void *tag);
+
+    /** Invalidate one page of @p tag if present. */
+    void flushPage(const void *tag, VmOffset vpn);
+
+    /** @name Statistics @{ */
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+    std::uint64_t flushes() const { return flushCount; }
+    /** @} */
+
+    unsigned pageShift() const { return shift; }
+
+    /** Virtual page number of @p va at this TLB's page size. */
+    VmOffset vpnOf(VmOffset va) const { return va >> shift; }
+
+  private:
+    std::vector<TlbEntry> entries;
+    unsigned shift;
+    unsigned nextVictim = 0;
+    SimClock &clock;
+    const CostModel &costs;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t flushCount = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_HW_TLB_HH

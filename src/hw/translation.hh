@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The interface the simulated MMU uses to refill its TLB.
+ *
+ * Each pmap implementation is a TranslationSource: on a TLB miss the
+ * MMU "walks" whatever in-memory structure the architecture defines
+ * (linear page table, inverted hash table, segment map, or a software
+ * dictionary for TLB-only machines).  A lookup that fails becomes a
+ * page fault delivered to the machine-independent fault handler.
+ */
+
+#ifndef MACH_HW_TRANSLATION_HH
+#define MACH_HW_TRANSLATION_HH
+
+#include <optional>
+
+#include "base/types.hh"
+
+namespace mach
+{
+
+/** One hardware translation, as produced by a table walk. */
+struct HwTranslation
+{
+    PhysAddr pageBase = 0;      //!< physical base of the hw page
+    VmProt prot = VmProt::None; //!< permissions encoded in the entry
+    bool wired = false;         //!< never dropped by the pmap
+};
+
+/** The kind of memory access the simulated program performs. */
+enum class AccessType : unsigned
+{
+    Read = 0,
+    Write,
+    Execute,
+    /**
+     * Read-modify-write.  Requires read and write permission; on the
+     * NS32082 a fault taken here is (incorrectly) reported as a read
+     * fault (paper section 5.1).
+     */
+    Rmw,
+};
+
+/** The permission an access requires. */
+constexpr VmProt
+accessProt(AccessType t)
+{
+    switch (t) {
+      case AccessType::Read: return VmProt::Read;
+      case AccessType::Write: return VmProt::Write;
+      case AccessType::Execute: return VmProt::Execute;
+      case AccessType::Rmw: return VmProt::Read | VmProt::Write;
+    }
+    return VmProt::None;
+}
+
+/** True if the access modifies memory. */
+constexpr bool
+accessWrites(AccessType t)
+{
+    return t == AccessType::Write || t == AccessType::Rmw;
+}
+
+/**
+ * Something the MMU can ask for translations: in practice, a Pmap.
+ */
+class TranslationSource
+{
+  public:
+    virtual ~TranslationSource() = default;
+
+    /**
+     * Walk the hardware-defined map for the page containing @p va.
+     *
+     * @param va faulting virtual address
+     * @param access the access being performed (some architectures
+     *        refuse to hand out a translation that the access could
+     *        not use, e.g. the RT's inverted table on an alias miss)
+     * @return the translation, or nullopt if none is present — the
+     *         MMU then raises a page fault
+     */
+    virtual std::optional<HwTranslation>
+    hwLookup(VmOffset va, AccessType access) = 0;
+
+    /** The hardware recorded a reference to the page holding @p va. */
+    virtual void hwMarkReferenced(VmOffset va) = 0;
+
+    /** The hardware recorded a modify of the page holding @p va. */
+    virtual void hwMarkModified(VmOffset va) = 0;
+
+    /**
+     * Tag used to match TLB entries to address spaces.  Architectures
+     * with real context tags (SUN 3) return a stable per-context
+     * value; others return `this` and take a full flush on switch.
+     */
+    virtual const void *tlbTag() const { return this; }
+};
+
+} // namespace mach
+
+#endif // MACH_HW_TRANSLATION_HH

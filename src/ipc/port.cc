@@ -1,0 +1,27 @@
+#include "ipc/port.hh"
+
+namespace mach
+{
+
+Port::Port(std::string name) : name(std::move(name))
+{
+}
+
+void
+Port::send(Message &&msg)
+{
+    queue.push_back(std::move(msg));
+    ++sendCount;
+}
+
+std::optional<Message>
+Port::receive()
+{
+    if (queue.empty())
+        return std::nullopt;
+    Message msg = std::move(queue.front());
+    queue.pop_front();
+    return msg;
+}
+
+} // namespace mach

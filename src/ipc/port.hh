@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ports: kernel-protected message queues (paper section 2).
+ *
+ * Ports are the reference objects of the Mach design: every kernel
+ * object (task, thread, memory object) is named and manipulated by a
+ * port.  This implementation is deliberately small — a named FIFO of
+ * messages with send/receive — which is all the external pager
+ * protocol and the examples need; the indirection it provides is what
+ * lets a pager be "anywhere": internal, user-state, or (in the paper)
+ * across a network.
+ */
+
+#ifndef MACH_IPC_PORT_HH
+#define MACH_IPC_PORT_HH
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "ipc/message.hh"
+
+namespace mach
+{
+
+/** A communication channel: a protected message queue. */
+class Port
+{
+  public:
+    explicit Port(std::string name = "");
+
+    Port(const Port &) = delete;
+    Port &operator=(const Port &) = delete;
+
+    /** Enqueue a message (the fundamental Send primitive). */
+    void send(Message &&msg);
+
+    /** Dequeue the oldest message (Receive), if any. */
+    std::optional<Message> receive();
+
+    bool empty() const { return queue.empty(); }
+    std::size_t pending() const { return queue.size(); }
+    const std::string &portName() const { return name; }
+
+    /** Total messages ever enqueued. */
+    std::uint64_t sends() const { return sendCount; }
+
+  private:
+    std::string name;
+    std::deque<Message> queue;
+    std::uint64_t sendCount = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_IPC_PORT_HH

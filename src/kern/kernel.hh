@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The Mach kernel facade: boots a simulated machine, wires the
+ * machine-independent VM to the machine-dependent pmap module, and
+ * provides task/thread/file services to examples, tests and
+ * benchmarks.
+ *
+ * This is the layer where the paper's "fault and recover" model is
+ * closed: the Machine's fault handler is bound here to vm_fault on
+ * the faulting CPU's current task.
+ */
+
+#ifndef MACH_KERN_KERNEL_HH
+#define MACH_KERN_KERNEL_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/simfs.hh"
+#include "hw/machine.hh"
+#include "kern/task.hh"
+#include "kern/thread.hh"
+#include "pager/default_pager.hh"
+#include "pager/vnode_pager.hh"
+#include "pmap/pmap.hh"
+#include "vm/vm_map.hh"
+#include "vm/vm_sys.hh"
+
+namespace mach
+{
+
+/** Boot-time configuration. */
+struct KernelConfig
+{
+    /** Mach page size = multiple x hardware page size (section 3.1,
+     *  "any power of two multiple of the hardware page size"). */
+    unsigned machPageMultiple = 1;
+    std::uint64_t diskBytes = 64ull << 20;
+    std::uint64_t swapBytes = 32ull << 20;
+    /** Object cache limits (0 = unlimited pages). */
+    std::size_t objectCacheLimit = 256;
+    std::size_t cachedPageLimit = 0;
+};
+
+/** A booted Mach system on a simulated machine. */
+class Kernel
+{
+  public:
+    explicit Kernel(const MachineSpec &spec, KernelConfig cfg = {});
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    Machine machine;
+    std::unique_ptr<PmapSystem> pmaps;
+    std::unique_ptr<VmSys> vm;
+    SimDisk disk;      //!< file system disk
+    SimDisk swapDisk;  //!< default pager swap space
+    SimFs fs;
+    DefaultPager defaultPager;
+
+    VmSize pageSize() const { return vm->pageSize(); }
+    SimTime now() const { return machine.clock().now(); }
+
+    /** @name Tasks and threads @{ */
+    /**
+     * Create a task.  With @p inherit_memory the child's address
+     * space is built from @p parent's inheritance values (UNIX
+     * fork); otherwise it is empty.
+     */
+    Task *taskCreate(Task *parent, bool inherit_memory);
+
+    /** Convenience: a fresh empty task. */
+    Task *taskCreate() { return taskCreate(nullptr, false); }
+
+    /** UNIX fork: copy-on-write child of @p parent. */
+    Task *taskFork(Task &parent) { return taskCreate(&parent, true); }
+
+    /** Destroy a task and its address space. */
+    void taskTerminate(Task *task);
+
+    Thread *threadCreate(Task &task);
+
+    std::size_t taskCount() const { return tasks.size(); }
+
+    /** Run @p task on @p cpu (pmap_activate + hardware bind). */
+    void switchTo(Task *task, CpuId cpu = 0);
+
+    Task *currentTask(CpuId cpu) { return current[cpu]; }
+    /** @} */
+
+    /** @name Simulated user memory access (fault-driven) @{ */
+    KernReturn taskTouch(Task &task, VmOffset va, VmSize len,
+                         AccessType type);
+    KernReturn taskRead(Task &task, VmOffset va, void *buf, VmSize len);
+    KernReturn taskWrite(Task &task, VmOffset va, const void *buf,
+                         VmSize len);
+    /** @} */
+
+    /** @name Files and mapped files @{ */
+    /** Create a file filled with @p len bytes of data. */
+    FileId createFile(const std::string &name, const void *data,
+                      VmSize len);
+
+    /** Create a file of @p len pseudo-random bytes. */
+    FileId createPatternFile(const std::string &name, VmSize len,
+                             std::uint32_t seed = 1);
+
+    /** The (singleton) vnode pager for a file. */
+    VnodePager *pagerForFile(const std::string &name);
+
+    /**
+     * Map a file into a task's address space (memory-mapped files,
+     * section 3.3).  On return *@p addr is the mapping and *@p size
+     * its page-rounded length.
+     */
+    KernReturn mapFile(Task &task, const std::string &name,
+                       VmOffset *addr, VmSize *size);
+
+    /**
+     * Mach-emulated UNIX read(): copies file data out of the file's
+     * memory object, faulting absent pages in through the vnode
+     * pager.  The object is cached between calls, which is what
+     * makes rereads fast (Table 7-1).
+     */
+    KernReturn fileRead(const std::string &name, VmOffset offset,
+                        void *buf, VmSize len, VmSize *got);
+
+    /** Mach-emulated UNIX write() through the file's object. */
+    KernReturn fileWrite(const std::string &name, VmOffset offset,
+                         const void *buf, VmSize len);
+    /** @} */
+
+    /** @name Kernel memory @{ */
+    /** The kernel's own address map (complete and accurate). */
+    VmMap &kernelMap() { return *kernMap; }
+
+    /** Allocate wired kernel memory. */
+    KernReturn kernelAllocate(VmOffset *addr, VmSize size);
+    /** @} */
+
+    /** Send a message, charging the IPC cost. */
+    void sendMessage(Port &port, Message &&msg);
+
+    /**
+     * Simulated clock interrupts: every @p timerInterval user
+     * operations a timer tick is delivered to all CPUs, running
+     * deferred TLB flushes (the paper's section 5.2 case 2 relies
+     * on these arriving regularly).
+     */
+    unsigned timerInterval = 16;
+
+  private:
+    /** Deliver the periodic timer interrupt when due. */
+    void maybeTick();
+
+    unsigned opsSinceTick = 0;
+
+  public:
+
+  private:
+    KernelConfig config;
+    std::vector<std::unique_ptr<Task>> tasks;
+    std::vector<Task *> current;  //!< per-CPU current task
+    unsigned nextTaskId = 1;
+    unsigned nextThreadId = 1;
+    VmMap *kernMap = nullptr;
+    std::unordered_map<FileId, std::unique_ptr<VnodePager>> vnodePagers;
+
+    /** Find-or-create the (cached) memory object for a file. */
+    VmObject *objectForFile(const std::string &name, VmSize *size_out);
+};
+
+} // namespace mach
+
+#endif // MACH_KERN_KERNEL_HH

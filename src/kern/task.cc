@@ -1,0 +1,23 @@
+#include "kern/task.hh"
+
+#include <string>
+
+#include "kern/kernel.hh"
+#include "kern/thread.hh"
+#include "vm/vm_map.hh"
+
+namespace mach
+{
+
+Task::Task(Kernel &kernel, unsigned id, Pmap *pmap, VmMap *map)
+    : taskPort("task-" + std::to_string(id)), kernel(kernel),
+      taskId(id), pmap(pmap), addressMap(map)
+{
+}
+
+Task::~Task()
+{
+    addressMap->deallocateRef();
+}
+
+} // namespace mach

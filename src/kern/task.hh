@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tasks: the basic unit of resource allocation (paper section 2).
+ *
+ * A task is an execution environment: a paged virtual address space
+ * (a VmMap bound to a pmap) plus protected access to system resources
+ * named by ports.  The UNIX notion of a process is a task with a
+ * single thread of control.
+ */
+
+#ifndef MACH_KERN_TASK_HH
+#define MACH_KERN_TASK_HH
+
+#include <memory>
+#include <vector>
+
+#include "ipc/port.hh"
+
+namespace mach
+{
+
+class Kernel;
+class Pmap;
+class Thread;
+class VmMap;
+
+/** An execution environment: address space + port rights. */
+class Task
+{
+  public:
+    ~Task();
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    /** The task's address map. */
+    VmMap &map() { return *addressMap; }
+
+    /** The task's physical (hardware) map. */
+    Pmap *getPmap() { return pmap; }
+
+    Kernel &getKernel() { return kernel; }
+
+    unsigned id() const { return taskId; }
+
+    /** @name Suspension @{ */
+    void suspend() { suspendCount++; }
+    void
+    resume()
+    {
+        if (suspendCount > 0)
+            --suspendCount;
+    }
+    bool suspended() const { return suspendCount > 0; }
+    /** @} */
+
+    /** The port representing this task. */
+    Port taskPort;
+
+    /** Threads running within this task. */
+    std::vector<std::unique_ptr<Thread>> threads;
+
+  private:
+    friend class Kernel;
+    Task(Kernel &kernel, unsigned id, Pmap *pmap, VmMap *map);
+
+    Kernel &kernel;
+    unsigned taskId;
+    Pmap *pmap;
+    VmMap *addressMap;
+    unsigned suspendCount = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_KERN_TASK_HH

@@ -1,0 +1,16 @@
+#include "kern/thread.hh"
+
+#include <string>
+
+#include "kern/task.hh"
+
+namespace mach
+{
+
+Thread::Thread(Task &task, unsigned id)
+    : task(task), threadId(id),
+      threadPort("thread-" + std::to_string(id))
+{
+}
+
+} // namespace mach

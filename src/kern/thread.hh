@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Threads: the basic unit of CPU utilization (paper section 2).
+ *
+ * Roughly an independent program counter operating within a task; all
+ * threads in a task share its resources.  In this reproduction a
+ * thread's interesting state is which CPU it is bound to, which
+ * drives pmap_activate/deactivate and therefore TLB consistency.
+ */
+
+#ifndef MACH_KERN_THREAD_HH
+#define MACH_KERN_THREAD_HH
+
+#include "base/types.hh"
+#include "ipc/port.hh"
+
+namespace mach
+{
+
+class Task;
+
+/** A flow of control within a task. */
+class Thread
+{
+  public:
+    Thread(Task &task, unsigned id);
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    Task &task;
+    unsigned threadId;
+
+    /** The port representing this thread (e.g. for suspend). */
+    Port threadPort;
+
+    /** CPU this thread currently runs on, or -1. */
+    int boundCpu = -1;
+
+    /** @name Suspension (a thread can suspend another via its
+     *  threadport, even across nodes — section 2) @{ */
+    void suspend() { ++suspendCount; }
+    void
+    resume()
+    {
+        if (suspendCount > 0)
+            --suspendCount;
+    }
+    bool suspended() const { return suspendCount > 0; }
+    /** @} */
+
+  private:
+    unsigned suspendCount = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_KERN_THREAD_HH

@@ -1,0 +1,83 @@
+#include "pager/default_pager.hh"
+
+#include "base/logging.hh"
+#include "vm/vm_page.hh"
+
+namespace mach
+{
+
+DefaultPager::DefaultPager(Machine &machine, SimDisk &swap,
+                           VmSize page_size)
+    : machine(machine), swap(swap), pageSize(page_size)
+{
+}
+
+std::uint64_t
+DefaultPager::allocBlock()
+{
+    if (!freeList.empty()) {
+        std::uint64_t b = freeList.back();
+        freeList.pop_back();
+        return b;
+    }
+    std::uint64_t b = nextBlock;
+    nextBlock += pageSize;
+    if (nextBlock > swap.capacity())
+        fatal("default pager: swap space exhausted (%llu bytes)",
+              (unsigned long long)swap.capacity());
+    return b;
+}
+
+bool
+DefaultPager::dataRequest(VmObject *object, VmOffset offset,
+                          VmPage *page, VmProt desired_access)
+{
+    (void)desired_access;
+    auto it = blocks.find(Key{object, offset});
+    if (it == blocks.end())
+        return false;  // pager_data_unavailable
+    // DMA the swap block straight into the physical page.
+    swap.read(it->second, machine.memory().data(page->physAddr),
+              pageSize);
+    ++pageins;
+    return true;
+}
+
+void
+DefaultPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
+{
+    Key key{object, offset};
+    auto it = blocks.find(key);
+    std::uint64_t block;
+    if (it != blocks.end()) {
+        block = it->second;
+    } else {
+        block = allocBlock();
+        blocks[key] = block;
+    }
+    // Pageout to swap is asynchronous (write-behind).
+    swap.writeAsync(block, machine.memory().data(page->physAddr),
+                    pageSize);
+    ++pageouts;
+}
+
+bool
+DefaultPager::hasData(VmObject *object, VmOffset offset)
+{
+    return blocks.find(Key{object, offset}) != blocks.end();
+}
+
+void
+DefaultPager::terminate(VmObject *object)
+{
+    for (auto it = blocks.begin(); it != blocks.end();) {
+        if (it->first.object == object) {
+            freeList.push_back(it->second);
+            it = blocks.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace mach

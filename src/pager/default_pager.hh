@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The default pager: backing store for memory with no pager.
+ *
+ * "Memory with no pager is automatically zero filled, and page-out is
+ * done to a default inode pager" (paper section 3.3).  This
+ * implementation keeps a swap area on a SimDisk, allocating one
+ * page-sized block per (object, offset) on first pageout and
+ * releasing an object's blocks when it terminates.
+ */
+
+#ifndef MACH_PAGER_DEFAULT_PAGER_HH
+#define MACH_PAGER_DEFAULT_PAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "pager/pager.hh"
+#include "sim/sim_disk.hh"
+
+namespace mach
+{
+
+/** Swap-backed pager for kernel-internal (anonymous) memory. */
+class DefaultPager : public Pager
+{
+  public:
+    /**
+     * @param machine machine whose physical pages are filled/drained
+     * @param swap disk to place swap blocks on
+     * @param page_size the Mach page size (one block per page)
+     */
+    DefaultPager(Machine &machine, SimDisk &swap, VmSize page_size);
+
+    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
+                     VmProt desired_access) override;
+    void dataWrite(VmObject *object, VmOffset offset,
+                   VmPage *page) override;
+    bool hasData(VmObject *object, VmOffset offset) override;
+    void terminate(VmObject *object) override;
+    const char *name() const override { return "default-pager"; }
+
+    /** Pages currently held on swap. */
+    std::size_t pagesOnSwap() const { return blocks.size(); }
+    std::uint64_t pageinsServed() const { return pageins; }
+    std::uint64_t pageoutsServed() const { return pageouts; }
+
+  private:
+    struct Key
+    {
+        const VmObject *object;
+        VmOffset offset;
+        bool operator==(const Key &o) const
+        {
+            return object == o.object && offset == o.offset;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<const void *>()(k.object) ^
+                std::hash<std::uint64_t>()(k.offset * 0x9e3779b9u);
+        }
+    };
+
+    std::uint64_t allocBlock();
+
+    Machine &machine;
+    SimDisk &swap;
+    VmSize pageSize;
+    std::unordered_map<Key, std::uint64_t, KeyHash> blocks;
+    std::vector<std::uint64_t> freeList;
+    std::uint64_t nextBlock = 0;
+    std::uint64_t pageins = 0;
+    std::uint64_t pageouts = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_PAGER_DEFAULT_PAGER_HH

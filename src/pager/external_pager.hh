@@ -1,0 +1,134 @@
+/**
+ * @file
+ * External (user-state) pagers: the message protocol of Tables 3-1
+ * and 3-2.
+ *
+ * "An important feature of Mach's virtual memory is the ability to
+ * handle page faults and page-out requests outside of the kernel"
+ * (section 3.3).  Three ports are associated with each externally
+ * managed memory object:
+ *
+ *  - the paging_object port, to which the kernel sends data requests
+ *    and writebacks (Table 3-1);
+ *  - the paging_object_request port, on which the pager sends
+ *    management calls back to the kernel (Table 3-2);
+ *  - the paging_name port, a unique identifier.
+ *
+ * This class is the kernel-side proxy: it implements the internal
+ * Pager interface by exchanging Messages with a user-state pager
+ * task.  The user pager is represented by a service function (its
+ * pager_server loop), invoked whenever the kernel needs it to make
+ * progress — the deterministic-simulation analogue of scheduling the
+ * pager task.
+ */
+
+#ifndef MACH_PAGER_EXTERNAL_PAGER_HH
+#define MACH_PAGER_EXTERNAL_PAGER_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ipc/port.hh"
+#include "pager/pager.hh"
+
+namespace mach
+{
+
+class Kernel;
+class VmObject;
+
+/** Kernel-side proxy for a user-state memory manager. */
+class ExternalPager : public Pager
+{
+  public:
+    ExternalPager(Kernel &kernel, const std::string &name);
+
+    /** The user pager's message loop (its pager_server routine). */
+    using ServiceFn = std::function<void(ExternalPager &)>;
+    void setService(ServiceFn fn) { service = std::move(fn); }
+
+    /** @name The three object ports (section 3.3) @{ */
+    Port &objectPort() { return objPort; }    //!< paging_object
+    Port &requestPort() { return reqPort; }   //!< paging_object_request
+    Port &namePort() { return nmPort; }       //!< paging_name
+    /** @} */
+
+    /** @name Pager interface (kernel -> pager, Table 3-1) @{ */
+    void init(VmObject *object) override;
+    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
+                     VmProt desired_access) override;
+    void dataWrite(VmObject *object, VmOffset offset,
+                   VmPage *page) override;
+    void dataUnlock(VmObject *object, VmOffset offset,
+                    VmProt desired_access) override;
+    bool hasData(VmObject *object, VmOffset offset) override;
+    void terminate(VmObject *object) override;
+    const char *name() const override { return pagerName.c_str(); }
+    /** @} */
+
+    /** @name Kernel calls made by the user pager (Table 3-2) @{ */
+    /** pager_data_provided: supply the contents of a region. */
+    void pagerDataProvided(VmOffset offset, const void *data,
+                           VmSize len, VmProt lock_value);
+
+    /** pager_data_unavailable: no data exists for the region. */
+    void pagerDataUnavailable(VmOffset offset, VmSize size);
+
+    /** pager_data_lock: prevent access until an unlock. */
+    void pagerDataLock(VmOffset offset, VmSize length,
+                       VmProt lock_value);
+
+    /** pager_clean_request: push modified cached data back. */
+    void pagerCleanRequest(VmOffset offset, VmSize length);
+
+    /** pager_flush_request: destroy physically cached data. */
+    void pagerFlushRequest(VmOffset offset, VmSize length);
+
+    /** pager_readonly: writes must allocate a new object. */
+    void pagerReadonly();
+
+    /** pager_cache: retain the object after last unmap. */
+    void pagerCache(bool should_cache);
+    /** @} */
+
+    VmObject *managedObject() { return object; }
+
+    /** Messages processed on behalf of the user pager. */
+    std::uint64_t requestsServed() const { return served; }
+
+  private:
+    /** Let the user pager run, then apply its kernel requests. */
+    void pump();
+
+    /** Apply queued Table 3-2 requests immediately (the kernel
+     *  processes these messages as they arrive). */
+    void drainRequests();
+
+    /** Apply one Table 3-2 message to the kernel. */
+    void applyRequest(Message &msg);
+
+    Kernel &kernel;
+    std::string pagerName;
+    Port objPort;
+    Port reqPort;
+    Port nmPort;
+    ServiceFn service;
+    VmObject *object = nullptr;
+
+    /** In-flight pagein: reply captured by pagerDataProvided. */
+    struct PendingFill
+    {
+        VmOffset offset;
+        VmPage *page;
+        bool satisfied = false;
+        bool unavailable = false;
+    };
+    PendingFill *pending = nullptr;
+
+    std::uint64_t served = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_PAGER_EXTERNAL_PAGER_HH

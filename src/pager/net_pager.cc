@@ -1,0 +1,183 @@
+#include "pager/net_pager.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "kern/kernel.hh"
+#include "vm/vm_map.hh"
+#include "vm/vm_object.hh"
+
+namespace mach
+{
+
+NetMemoryServer::NetMemoryServer(Kernel &host) : host(host)
+{
+}
+
+NetMemoryServer::~NetMemoryServer()
+{
+    while (!exports.empty())
+        unexport(exports.begin()->first);
+}
+
+NetExportId
+NetMemoryServer::exportRegion(Task &task, VmOffset addr, VmSize size)
+{
+    // Materialize the region's memory object (a read lookup creates
+    // the lazy zero-fill object if none exists yet).
+    VmMap::LookupResult lr;
+    if (task.map().lookup(addr, FaultType::Read, lr) !=
+        KernReturn::Success) {
+        return kNoExport;
+    }
+    // The whole range must stay within this entry's object.
+    VmMap::LookupResult lr_end;
+    if (task.map().lookup(addr + size - 1, FaultType::Read, lr_end) !=
+            KernReturn::Success ||
+        lr_end.object != lr.object) {
+        return kNoExport;
+    }
+
+    lr.object->reference();
+    NetExportId id = nextId++;
+    exports[id] = Export{lr.object, lr.offset, size};
+    return id;
+}
+
+NetExportId
+NetMemoryServer::exportFile(const std::string &name)
+{
+    VnodePager *pager = host.pagerForFile(name);
+    if (!pager)
+        return kNoExport;
+    VmSize size = host.fs.size(pager->fileId());
+    VmObject *obj = VmObject::allocateWithPager(
+        *host.vm, host.vm->pageRound(size), pager, 0, true);
+    NetExportId id = nextId++;
+    exports[id] = Export{obj, 0, size};
+    return id;
+}
+
+void
+NetMemoryServer::unexport(NetExportId id)
+{
+    auto it = exports.find(id);
+    if (it == exports.end())
+        return;
+    it->second.object->deallocate();
+    exports.erase(it);
+}
+
+bool
+NetMemoryServer::fetch(NetExportId id, VmOffset offset, void *buf,
+                       VmSize len)
+{
+    auto it = exports.find(id);
+    if (it == exports.end())
+        return false;
+    Export &ex = it->second;
+    if (offset >= ex.size)
+        return false;
+
+    // The server does normal (local) VM work to produce the bytes:
+    // resident pages are copied out; absent ones page in through
+    // whatever backs the object.
+    VmSize page = host.pageSize();
+    VmSize todo = std::min<VmSize>(len, ex.size - offset);
+    auto *out = static_cast<std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < todo) {
+        VmOffset pos = ex.offset + offset + done;
+        VmOffset in_page = pos & (page - 1);
+        VmSize chunk = std::min<VmSize>(todo - done, page - in_page);
+        VmPage *pg = host.vm->objectPage(ex.object, pos, false);
+        host.machine.memory().read(pg->physAddr + in_page, out + done,
+                                   chunk);
+        done += chunk;
+    }
+    if (todo < len)
+        std::memset(out + todo, 0, len - todo);
+    ++pagesServed;
+    bytesServed += todo;
+    return true;
+}
+
+NetPager::NetPager(Kernel &local, NetMemoryServer &server,
+                   NetExportId handle, NetworkLink link)
+    : local(local), server(server), handle(handle), link(link)
+{
+}
+
+VmSize
+NetPager::exportSize() const
+{
+    auto it = server.exports.find(handle);
+    return it == server.exports.end() ? 0 : it->second.size;
+}
+
+bool
+NetPager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
+                      VmProt desired_access)
+{
+    (void)desired_access;
+    VmSize page_size = local.pageSize();
+    VmOffset file_off = object->pagerOffset + offset;
+
+    // Locally dirtied data wins (it is newer than the remote copy).
+    auto it = localStore.find(file_off);
+    if (it != localStore.end()) {
+        local.machine.memory().write(page->physAddr,
+                                     it->second.data(), page_size);
+        ++pagesLocal;
+        return true;
+    }
+
+    // Remote fetch: one round trip plus the bytes on the wire,
+    // charged to the *local* (requesting) machine's clock.
+    std::vector<std::uint8_t> buf(page_size);
+    if (!server.fetch(handle, file_off, buf.data(), page_size))
+        return false;
+    local.machine.clock().charge(
+        CostKind::Ipc,
+        link.latency +
+            static_cast<SimTime>(link.perByte * page_size));
+    local.machine.memory().write(page->physAddr, buf.data(),
+                                 page_size);
+    ++pagesFetched;
+    bytesFetched += page_size;
+    return true;
+}
+
+void
+NetPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
+{
+    // Copy-on-reference: modified pages never go back over the
+    // network; they live in a local store from here on.
+    VmSize page_size = local.pageSize();
+    VmOffset file_off = object->pagerOffset + offset;
+    auto &slot = localStore[file_off];
+    slot.resize(page_size);
+    local.machine.memory().read(page->physAddr, slot.data(),
+                                page_size);
+}
+
+bool
+NetPager::hasData(VmObject *object, VmOffset offset)
+{
+    VmOffset file_off = object->pagerOffset + offset;
+    if (localStore.count(file_off))
+        return true;
+    return file_off < exportSize();
+}
+
+void
+NetPager::terminate(VmObject *object)
+{
+    // The local store persists: it is this pager's backing storage,
+    // outliving any particular kernel memory object (a remapping
+    // must see the locally dirtied data, not stale remote pages).
+    (void)object;
+}
+
+} // namespace mach

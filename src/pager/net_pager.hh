@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Network memory: pagers across machine boundaries (paper section 6).
+ *
+ * "Tasks may map into their address spaces references to memory
+ * objects which can be implemented by pagers anywhere on the network
+ * or within a multiprocessor ... It is likewise possible to
+ * implement shared copy-on-reference or read/write data in a network
+ * or loosely coupled multiprocessor."
+ *
+ * NetMemoryServer runs on the owning kernel and exports regions of
+ * task address spaces (their memory objects); NetPager is the pager
+ * on the *consuming* kernel that fetches pages over a simulated
+ * network link on first reference.  Writes stay local (the
+ * copy-on-reference semantics of Zayas-style process migration, the
+ * paper's reference [13]): a migrated task pulls exactly the pages
+ * it touches and diverges privately afterwards.
+ */
+
+#ifndef MACH_PAGER_NET_PAGER_HH
+#define MACH_PAGER_NET_PAGER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pager/pager.hh"
+
+namespace mach
+{
+
+class Kernel;
+class Task;
+class VmObject;
+
+/** Cost model of a network link between two machines. */
+struct NetworkLink
+{
+    SimTime latency = 2000000;   //!< per round trip (2ms default)
+    double perByte = 1000.0;     //!< ns per byte transferred
+};
+
+/** Handle naming an exported region. */
+using NetExportId = std::uint32_t;
+
+/** The server half: exports memory objects from its kernel. */
+class NetMemoryServer
+{
+  public:
+    explicit NetMemoryServer(Kernel &host);
+    ~NetMemoryServer();
+
+    NetMemoryServer(const NetMemoryServer &) = delete;
+    NetMemoryServer &operator=(const NetMemoryServer &) = delete;
+
+    /**
+     * Export [addr, addr+size) of @p task's address space.  The
+     * region must be covered by a single entry (one memory object);
+     * the object is materialized and referenced.
+     *
+     * @return a handle for NetPager, or kNoExport on failure.
+     */
+    NetExportId exportRegion(Task &task, VmOffset addr, VmSize size);
+
+    /** Export a file's memory object. */
+    NetExportId exportFile(const std::string &name);
+
+    /** Drop an export (releases the object reference). */
+    void unexport(NetExportId id);
+
+    static constexpr NetExportId kNoExport = ~NetExportId(0);
+
+    Kernel &hostKernel() { return host; }
+
+    /** @name Statistics @{ */
+    std::uint64_t pagesServed = 0;
+    std::uint64_t bytesServed = 0;
+    /** @} */
+
+  private:
+    friend class NetPager;
+
+    struct Export
+    {
+        VmObject *object;
+        VmOffset offset;
+        VmSize size;
+    };
+
+    /** Copy one page of an export into @p buf (server side work). */
+    bool fetch(NetExportId id, VmOffset offset, void *buf,
+               VmSize len);
+
+    Kernel &host;
+    std::unordered_map<NetExportId, Export> exports;
+    NetExportId nextId = 1;
+};
+
+/**
+ * The client half: a pager whose backing store is a remote kernel's
+ * exported object, reached over a NetworkLink.
+ */
+class NetPager : public Pager
+{
+  public:
+    /**
+     * @param local the kernel whose tasks map this object
+     * @param server the remote exporter
+     * @param handle which export to page from
+     * @param link network cost model (charged to the local clock)
+     */
+    NetPager(Kernel &local, NetMemoryServer &server, NetExportId handle,
+             NetworkLink link = {});
+
+    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
+                     VmProt desired_access) override;
+    void dataWrite(VmObject *object, VmOffset offset,
+                   VmPage *page) override;
+    bool hasData(VmObject *object, VmOffset offset) override;
+    void terminate(VmObject *object) override;
+    const char *name() const override { return "net-pager"; }
+
+    /** Size of the remote export (bytes). */
+    VmSize exportSize() const;
+
+    /** @name Statistics @{ */
+    std::uint64_t pagesFetched = 0;   //!< pulled over the network
+    std::uint64_t bytesFetched = 0;
+    std::uint64_t pagesLocal = 0;     //!< served from the local store
+    /** @} */
+
+  private:
+    Kernel &local;
+    NetMemoryServer &server;
+    NetExportId handle;
+    NetworkLink link;
+
+    /**
+     * Locally dirtied pages evicted by the local pageout daemon:
+     * they never cross the network again (copy-on-reference).
+     */
+    std::unordered_map<VmOffset, std::vector<std::uint8_t>> localStore;
+};
+
+} // namespace mach
+
+#endif // MACH_PAGER_NET_PAGER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The kernel-to-pager interface (paper section 3.3, Table 3-1).
+ *
+ * Every memory object is managed by a pager.  The kernel asks the
+ * pager for data at fault time (pager_data_request), pushes dirty
+ * pages back at pageout time (pager_data_write), and notifies it at
+ * initialization and termination.  Internal pagers (the default swap
+ * pager, the vnode pager) implement this interface directly; external
+ * user-state pagers are reached through a proxy that speaks the
+ * message protocol of Tables 3-1/3-2 over ports (see
+ * pager/external_pager.hh).
+ *
+ * The caller (vm_fault / pageout) charges message costs around these
+ * calls, so an internal pager costs the same as the message exchange
+ * the paper describes.
+ */
+
+#ifndef MACH_PAGER_PAGER_HH
+#define MACH_PAGER_PAGER_HH
+
+#include "base/types.hh"
+
+namespace mach
+{
+
+class VmObject;
+struct VmPage;
+
+/** A memory manager for memory objects. */
+class Pager
+{
+  public:
+    virtual ~Pager() = default;
+
+    /** pager_init: a memory object backed by this pager was mapped. */
+    virtual void init(VmObject *object) { (void)object; }
+
+    /**
+     * pager_data_request: supply the Mach page of @p object at byte
+     * @p offset.  The pager fills the physical page backing @p page.
+     *
+     * @return true if data was provided (pager_data_provided); false
+     *         if no data exists for the region
+     *         (pager_data_unavailable — the kernel zero-fills).
+     */
+    virtual bool dataRequest(VmObject *object, VmOffset offset,
+                             VmPage *page, VmProt desired_access) = 0;
+
+    /**
+     * pager_data_write: accept a dirty page for secondary storage.
+     */
+    virtual void dataWrite(VmObject *object, VmOffset offset,
+                           VmPage *page) = 0;
+
+    /**
+     * True if the pager holds data for (@p object, @p offset).  Used
+     * by the fault handler to decide whether to descend a shadow
+     * chain or request a pagein.
+     */
+    virtual bool hasData(VmObject *object, VmOffset offset) = 0;
+
+    /**
+     * pager_data_unlock: the kernel needs an access to locked data;
+     * the pager should eventually clear the lock via
+     * pager_data_lock with a weaker lock value.
+     */
+    virtual void
+    dataUnlock(VmObject *object, VmOffset offset, VmProt desired_access)
+    {
+        (void)object;
+        (void)offset;
+        (void)desired_access;
+    }
+
+    /** The object is being destroyed; release its backing store. */
+    virtual void terminate(VmObject *object) { (void)object; }
+
+    /** Human-readable pager kind, for diagnostics. */
+    virtual const char *name() const { return "pager"; }
+};
+
+} // namespace mach
+
+#endif // MACH_PAGER_PAGER_HH

@@ -1,0 +1,59 @@
+#include "pager/vnode_pager.hh"
+
+#include <cstring>
+
+#include "vm/vm_object.hh"
+
+namespace mach
+{
+
+VnodePager::VnodePager(Machine &machine, SimFs &fs, FileId file,
+                       VmSize page_size)
+    : machine(machine), fs(fs), file(file), pageSize(page_size)
+{
+}
+
+bool
+VnodePager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
+                        VmProt desired_access)
+{
+    (void)desired_access;
+    VmOffset file_off = object->pagerOffset + offset;
+    std::uint8_t *dst = machine.memory().data(page->physAddr);
+    VmSize got = fs.read(file, file_off, dst, pageSize);
+    if (got == 0)
+        return false;  // past EOF: pager_data_unavailable
+    if (got < pageSize)
+        std::memset(dst + got, 0, pageSize - got);  // zero tail
+    ++pageins;
+    return true;
+}
+
+void
+VnodePager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
+{
+    VmOffset file_off = object->pagerOffset + offset;
+    // Write back only up to the file's logical size (a mapped file
+    // does not grow from stray page dirtying past EOF), unless the
+    // file is being extended through the mapping.
+    VmSize len = pageSize;
+    VmSize fsize = fs.size(file);
+    if (file_off >= fsize) {
+        ++pageouts;
+        return;
+    }
+    if (file_off + len > fsize)
+        len = fsize - file_off;
+    // Pageout writes are asynchronous (write-behind).
+    fs.writeAsync(file, file_off,
+                  machine.memory().data(page->physAddr), len);
+    ++pageouts;
+}
+
+bool
+VnodePager::hasData(VmObject *object, VmOffset offset)
+{
+    return object->pagerOffset + offset < fs.size(file);
+}
+
+} // namespace mach

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The vnode (inode) pager: memory-mapped files.
+ *
+ * One pager per file.  Page faults on a mapped file become reads of
+ * the file system; pageouts write the data back.  Because the file's
+ * memory object can be cached by the kernel after its last unmapping
+ * (pager_cache), a frequently used file's pages stay resident — this
+ * is where Mach's file reread advantage over the 4.3bsd buffer cache
+ * comes from (paper Table 7-1), and it "eliminates the traditional
+ * Berkeley UNIX need for separate paging partitions" (section 3.3).
+ */
+
+#ifndef MACH_PAGER_VNODE_PAGER_HH
+#define MACH_PAGER_VNODE_PAGER_HH
+
+#include <cstdint>
+
+#include "fs/simfs.hh"
+#include "hw/machine.hh"
+#include "pager/pager.hh"
+
+namespace mach
+{
+
+/** Pager backing a memory object with a file. */
+class VnodePager : public Pager
+{
+  public:
+    VnodePager(Machine &machine, SimFs &fs, FileId file,
+               VmSize page_size);
+
+    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
+                     VmProt desired_access) override;
+    void dataWrite(VmObject *object, VmOffset offset,
+                   VmPage *page) override;
+    bool hasData(VmObject *object, VmOffset offset) override;
+    const char *name() const override { return "vnode-pager"; }
+
+    FileId fileId() const { return file; }
+
+    std::uint64_t pageinsServed() const { return pageins; }
+    std::uint64_t pageoutsServed() const { return pageouts; }
+
+  private:
+    Machine &machine;
+    SimFs &fs;
+    FileId file;
+    VmSize pageSize;
+    std::uint64_t pageins = 0;
+    std::uint64_t pageouts = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_PAGER_VNODE_PAGER_HH

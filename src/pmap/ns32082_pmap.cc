@@ -1,0 +1,22 @@
+#include "pmap/ns32082_pmap.hh"
+
+namespace mach
+{
+
+void
+Ns32082Pmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+{
+    const MachineSpec &spec = system().getMachine().spec;
+    if (va + system().machPageSize() > spec.pmapVaLimit) {
+        panic("NS32082: virtual address %#llx beyond the 16MB "
+              "per-page-table limit", (unsigned long long)va);
+    }
+    if (spec.physAddrLimit &&
+        pa + system().machPageSize() > spec.physAddrLimit) {
+        panic("NS32082: physical address %#llx beyond the 32MB "
+              "addressable limit", (unsigned long long)pa);
+    }
+    LinearPmap::enter(va, pa, prot, wired);
+}
+
+} // namespace mach

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * National Semiconductor NS32082 pmap (Encore MultiMax, Sequent
+ * Balance).
+ *
+ * Structurally a linear-page-table MMU like the VAX, but with the
+ * three problems the paper calls out (section 5.1):
+ *
+ *  - only 16MB of virtual memory may be addressed per page table;
+ *  - only 32MB of physical memory may be addressed;
+ *  - a chip bug causes read-modify-write faults to be reported as
+ *    read faults (modeled in Machine::translate; the
+ *    machine-independent fault handler carries the workaround).
+ *
+ * The first two are enforced here: asking this module to map beyond
+ * either limit is a hard error, so the machine-independent layer's
+ * allocation limits are what keep the system inside them.
+ */
+
+#ifndef MACH_PMAP_NS32082_PMAP_HH
+#define MACH_PMAP_NS32082_PMAP_HH
+
+#include "pmap/vax_pmap.hh"
+
+namespace mach
+{
+
+class Ns32082PmapSystem;
+
+/** An NS32082 physical map: a VAX-style map with hard limits. */
+class Ns32082Pmap : public LinearPmap
+{
+  public:
+    Ns32082Pmap(LinearPmapSystem &lsys, bool kernel)
+        : LinearPmap(lsys, kernel)
+    {
+    }
+
+    void enter(VmOffset va, PhysAddr pa, VmProt prot,
+               bool wired) override;
+};
+
+/** The NS32082 pmap module. */
+class Ns32082PmapSystem : public LinearPmapSystem
+{
+  public:
+    explicit Ns32082PmapSystem(Machine &machine)
+        : LinearPmapSystem(machine)
+    {
+        // 512-byte pages, 4-byte PTEs.
+        ptesPerPage = 128;
+    }
+
+  protected:
+    std::unique_ptr<Pmap> allocatePmap(bool kernel) override
+    {
+        return std::make_unique<Ns32082Pmap>(*this, kernel);
+    }
+};
+
+} // namespace mach
+
+#endif // MACH_PMAP_NS32082_PMAP_HH

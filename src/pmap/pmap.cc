@@ -1,0 +1,285 @@
+#include "pmap/pmap.hh"
+
+#include <algorithm>
+
+#include "pmap/ns32082_pmap.hh"
+#include "pmap/rt_pmap.hh"
+#include "pmap/sun3_pmap.hh"
+#include "pmap/tlbsoft_pmap.hh"
+#include "pmap/vax_pmap.hh"
+
+namespace mach
+{
+
+Pmap::Pmap(PmapSystem &sys, bool kernel) : sys(sys), isKernel(kernel)
+{
+}
+
+void
+Pmap::activate(CpuId cpu)
+{
+    MACH_ASSERT(cpu < kMaxCpus);
+    cpus.set(cpu);
+    onActivate(cpu);
+}
+
+void
+Pmap::deactivate(CpuId cpu)
+{
+    MACH_ASSERT(cpu < kMaxCpus);
+    cpus.reset(cpu);
+    onDeactivate(cpu);
+}
+
+void
+Pmap::hwMarkReferenced(VmOffset va)
+{
+    if (auto pa = extract(va))
+        sys.setReferencedAttr(*pa);
+}
+
+void
+Pmap::hwMarkModified(VmOffset va)
+{
+    if (auto pa = extract(va)) {
+        sys.setModifiedAttr(*pa);
+        sys.setReferencedAttr(*pa);
+    }
+}
+
+void
+Pmap::update()
+{
+    sys.getMachine().timerTick();
+}
+
+void
+Pmap::shootdown(VmOffset start, VmOffset end, ShootdownMode mode)
+{
+    sys.shootdownRange(*this, start, end, mode);
+}
+
+PmapSystem::PmapSystem(Machine &machine) : machine(machine)
+{
+}
+
+std::unique_ptr<PmapSystem>
+PmapSystem::build(Machine &machine)
+{
+    switch (machine.spec.arch) {
+      case ArchType::Vax:
+        return std::make_unique<VaxPmapSystem>(machine);
+      case ArchType::RtPc:
+        return std::make_unique<RtPmapSystem>(machine);
+      case ArchType::Sun3:
+        return std::make_unique<Sun3PmapSystem>(machine);
+      case ArchType::Ns32082:
+        return std::make_unique<Ns32082PmapSystem>(machine);
+      case ArchType::TlbOnly:
+        return std::make_unique<TlbSoftPmapSystem>(machine);
+    }
+    panic("unknown architecture");
+}
+
+void
+PmapSystem::init(VmSize mach_page_size)
+{
+    VmSize hw = hwPageSize();
+    if (mach_page_size < hw || !isPowerOf2(mach_page_size) ||
+        mach_page_size % hw != 0) {
+        fatal("Mach page size %llu is not a power-of-two multiple of "
+              "the hardware page size %llu",
+              (unsigned long long)mach_page_size, (unsigned long long)hw);
+    }
+    machPage = mach_page_size;
+    attrs.assign(machine.spec.physMemBytes / hw, PhysAttr{});
+
+    auto kp = allocatePmap(true);
+    kernel = kp.get();
+    allPmaps.push_back(std::move(kp));
+    // The kernel map is in use on every CPU at all times.
+    for (unsigned i = 0; i < machine.numCpus(); ++i)
+        kernel->activate(i);
+}
+
+Pmap *
+PmapSystem::create()
+{
+    MACH_ASSERT(machPage != 0);
+    machine.clock().charge(CostKind::PmapOp, machine.spec.costs.pmapCreate);
+    auto p = allocatePmap(false);
+    Pmap *raw = p.get();
+    allPmaps.push_back(std::move(p));
+    return raw;
+}
+
+void
+PmapSystem::destroy(Pmap *pmap)
+{
+    MACH_ASSERT(pmap && !pmap->kernel());
+    if (!pmap->release())
+        return;
+    MACH_ASSERT(pmap->cpusUsing().none());
+    // Remove every mapping so shared structures (inverted tables,
+    // PMEG pools) are released.
+    pmap->remove(0, machine.spec.effectiveVaLimit());
+    auto it = std::find_if(allPmaps.begin(), allPmaps.end(),
+                           [&](const auto &p) { return p.get() == pmap; });
+    MACH_ASSERT(it != allPmaps.end());
+    allPmaps.erase(it);
+}
+
+void
+PmapSystem::zeroPage(PhysAddr pa)
+{
+    machine.memory().zero(pa, machPage);
+}
+
+void
+PmapSystem::copyPage(PhysAddr src, PhysAddr dst)
+{
+    machine.memory().copy(src, dst, machPage);
+}
+
+bool
+PmapSystem::isModified(PhysAddr pa)
+{
+    FrameNum first = frameOf(pa);
+    FrameNum count = machPage / hwPageSize();
+    for (FrameNum f = first; f < first + count; ++f) {
+        if (attrs[f].modified)
+            return true;
+    }
+    return false;
+}
+
+bool
+PmapSystem::isReferenced(PhysAddr pa)
+{
+    FrameNum first = frameOf(pa);
+    FrameNum count = machPage / hwPageSize();
+    for (FrameNum f = first; f < first + count; ++f) {
+        if (attrs[f].referenced)
+            return true;
+    }
+    return false;
+}
+
+void
+PmapSystem::clearModify(PhysAddr pa, ShootdownMode mode)
+{
+    FrameNum first = frameOf(pa);
+    FrameNum count = machPage / hwPageSize();
+    for (FrameNum f = first; f < first + count; ++f)
+        attrs[f].modified = false;
+    // Resynchronize: drop the page's mappings so the next write
+    // faults (or misses the TLB) and is observed again.
+    removeAll(pa, mode);
+}
+
+void
+PmapSystem::clearReference(PhysAddr pa, ShootdownMode mode)
+{
+    FrameNum first = frameOf(pa);
+    FrameNum count = machPage / hwPageSize();
+    for (FrameNum f = first; f < first + count; ++f)
+        attrs[f].referenced = false;
+    removeAll(pa, mode);
+}
+
+void
+PmapSystem::resetAttrs(PhysAddr pa)
+{
+    FrameNum first = frameOf(pa);
+    FrameNum count = machPage / hwPageSize();
+    for (FrameNum f = first; f < first + count; ++f) {
+        attrs[f].modified = false;
+        attrs[f].referenced = false;
+    }
+}
+
+void
+PmapSystem::setModifiedAttr(PhysAddr pa)
+{
+    FrameNum f = frameOf(pa);
+    if (f < attrs.size())
+        attrs[f].modified = true;
+}
+
+void
+PmapSystem::setReferencedAttr(PhysAddr pa)
+{
+    FrameNum f = frameOf(pa);
+    if (f < attrs.size())
+        attrs[f].referenced = true;
+}
+
+void
+PmapSystem::shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
+                           ShootdownMode mode)
+{
+    if (mode == ShootdownMode::Lazy) {
+        // Section 5.2 case 3: the semantics of the operation permit
+        // temporary inconsistency; remote TLBs converge later.
+        ++lazySkips;
+        return;
+    }
+
+    const void *tag = pmap.tlbTag();
+    std::bitset<kMaxCpus> targets = pmap.cpusUsing();
+    if (pmap.kernel() || machine.spec.tlbTaggedByContext) {
+        // Kernel mappings are live on every CPU; and on hardware
+        // whose translation cache is tagged by context (SUN 3), a
+        // deactivated map's entries survive context switches, so
+        // every CPU may hold them.
+        for (unsigned i = 0; i < machine.numCpus(); ++i)
+            targets.set(i);
+    }
+
+    // Flushing page-by-page only pays for small ranges.
+    VmSize hw = hwPageSize();
+    bool byPage = (end - start) / hw <= 8;
+
+    auto flushCpu = [this, tag, start, end, byPage, hw](Cpu &c) {
+        if (byPage) {
+            for (VmOffset va = truncTo(start, hw); va < end; va += hw)
+                c.tlb.flushPage(tag, va >> machine.spec.hwPageShift);
+        } else {
+            c.tlb.flushTag(tag);
+        }
+    };
+
+    if (mode == ShootdownMode::Deferred) {
+        // Section 5.2 case 2: queue the flush; the caller must not
+        // reuse the page until the next timer tick has been taken.
+        ++deferredFlushes;
+        Machine &m = machine;
+        m.deferUntilTick([&m, targets, flushCpu]() {
+            for (unsigned i = 0; i < m.numCpus(); ++i) {
+                if (targets.test(i))
+                    flushCpu(m.cpu(i));
+            }
+        });
+        return;
+    }
+
+    // Immediate (case 1): local flush plus an IPI per remote CPU.
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        if (!targets.test(i))
+            continue;
+        if (i == machine.currentCpu()) {
+            flushCpu(machine.cpu(i));
+        } else {
+            ++shootdownIpis;
+            machine.ipi(i, flushCpu);
+        }
+    }
+}
+
+void
+PmapSystem::chargePmap(SimTime ns)
+{
+    machine.clock().charge(CostKind::PmapOp, ns);
+}
+
+} // namespace mach

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The machine-independent/machine-dependent interface (paper section
+ * 3.6, Tables 3-3 and 3-4).
+ *
+ * A Pmap is a physical address map: the only machine-dependent data
+ * structure in the system.  The contract, taken directly from the
+ * paper, is:
+ *
+ *  - the pmap need not keep track of all currently valid mappings;
+ *    virtual-to-physical mappings may be thrown away at almost any
+ *    time (except wired and kernel mappings), because all VM
+ *    information can be reconstructed at fault time from the
+ *    machine-independent structures;
+ *  - operations that invalidate or reduce protection may be delayed
+ *    on hardware where invalidations are expensive (pmap_update
+ *    forces them);
+ *  - machine-independent code tells the pmap which processors are
+ *    using which maps (activate/deactivate), and the pmap is
+ *    responsible for TLB consistency using the strategies of section
+ *    5.2 (interrupt now, defer to timer tick, or allow temporary
+ *    inconsistency).
+ */
+
+#ifndef MACH_PMAP_PMAP_HH
+#define MACH_PMAP_PMAP_HH
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "hw/machine.hh"
+#include "hw/translation.hh"
+
+namespace mach
+{
+
+class PmapSystem;
+
+/** Maximum CPUs a pmap tracks. */
+constexpr unsigned kMaxCpus = 32;
+
+/** How a mapping change is propagated to remote TLBs (section 5.2). */
+enum class ShootdownMode : unsigned
+{
+    /** Case 1: forcibly interrupt every CPU using the map now. */
+    Immediate = 0,
+    /** Case 2: postpone until all CPUs have taken a timer tick. */
+    Deferred,
+    /** Case 3: allow temporary inconsistency (no remote action). */
+    Lazy,
+};
+
+/** Per-operation-class shootdown strategy selection. */
+struct ShootdownPolicy
+{
+    ShootdownMode remove = ShootdownMode::Immediate;
+    ShootdownMode protect = ShootdownMode::Immediate;
+    /** Used by pmap_remove_all on the pageout path. */
+    ShootdownMode pageout = ShootdownMode::Deferred;
+};
+
+/**
+ * A machine-dependent physical address map.
+ *
+ * Exported/required routines of Table 3-3 appear as methods here or
+ * (for the physical-page-indexed ones) on PmapSystem; the optional
+ * routines of Table 3-4 (pmap_copy, pmap_pageable) have default
+ * empty implementations, as the paper permits.
+ */
+class Pmap : public TranslationSource
+{
+  public:
+    Pmap(PmapSystem &sys, bool kernel);
+    ~Pmap() override = default;
+
+    /** @name Table 3-3: required operations @{ */
+    /**
+     * Enter a mapping for one machine-independent page [page fault].
+     * @param va Mach-page-aligned virtual address
+     * @param pa Mach-page-aligned physical address
+     * @param prot hardware permissions to grant
+     * @param wired if true the mapping may never be dropped
+     */
+    virtual void enter(VmOffset va, PhysAddr pa, VmProt prot,
+                       bool wired) = 0;
+
+    /** Remove all mappings in [start, end) [memory deallocation]. */
+    virtual void remove(VmOffset start, VmOffset end) = 0;
+
+    /**
+     * Restrict the protection on [start, end).  Like the real
+     * pmap_protect, this only ever *removes* permissions from
+     * existing mappings; granting a wider permission happens lazily
+     * through the fault path, which knows about copy-on-write
+     * (a pmap upgrade here could expose a COW-shared page to
+     * writes).
+     */
+    virtual void protect(VmOffset start, VmOffset end, VmProt prot) = 0;
+
+    /** Convert virtual to physical (pmap_extract). */
+    virtual std::optional<PhysAddr> extract(VmOffset va) = 0;
+
+    /** Report if the virtual address is mapped (pmap_access). */
+    bool access(VmOffset va) { return extract(va).has_value(); }
+
+    /**
+     * Make all delayed invalidations visible (pmap_update).  The
+     * default forces any flushes deferred to the next timer tick.
+     */
+    virtual void update();
+    /** @} */
+
+    /** @name Table 3-4: optional operations @{ */
+    /** Copy mappings from another map (pmap_copy); hint only. */
+    virtual void
+    copyFrom(Pmap &src, VmOffset dst_addr, VmSize len, VmOffset src_addr)
+    {
+        (void)src;
+        (void)dst_addr;
+        (void)len;
+        (void)src_addr;
+    }
+
+    /** Advise pageability of a region (pmap_pageable); hint only. */
+    virtual void
+    pageable(VmOffset start, VmOffset end, bool can_page)
+    {
+        (void)start;
+        (void)end;
+        (void)can_page;
+    }
+    /** @} */
+
+    /**
+     * Give back whatever space the module can reclaim (the paper:
+     * VAX page tables "may be created and destroyed as necessary to
+     * conserve space or improve runtime").  Non-wired, non-kernel
+     * mappings may be dropped; faults rebuild them.
+     */
+    virtual void garbageCollect() {}
+
+    /** @name Activation (pmap_activate / pmap_deactivate) @{ */
+    /** This pmap is now running on @p cpu. */
+    void activate(CpuId cpu);
+    /** This pmap is done on @p cpu. */
+    void deactivate(CpuId cpu);
+    /** Which CPUs currently use this map. */
+    const std::bitset<kMaxCpus> &cpusUsing() const { return cpus; }
+    /** @} */
+
+    /** @name Reference counting (pmap_reference / pmap_destroy) @{ */
+    void reference() { ++refCount; }
+    /** Drop a reference; true when the map should be destroyed. */
+    bool
+    release()
+    {
+        MACH_ASSERT(refCount > 0);
+        return --refCount == 0;
+    }
+    int references() const { return refCount; }
+    /** @} */
+
+    bool kernel() const { return isKernel; }
+    PmapSystem &system() { return sys; }
+
+    /** Count of hardware mappings currently installed (statistics). */
+    std::uint64_t residentMappings() const { return nMappings; }
+
+    /** TranslationSource: default attribute recording via extract. */
+    void hwMarkReferenced(VmOffset va) override;
+    void hwMarkModified(VmOffset va) override;
+
+  protected:
+    /** Flush [start, end) from TLBs per the given policy mode. */
+    void shootdown(VmOffset start, VmOffset end, ShootdownMode mode);
+
+    PmapSystem &sys;
+    const bool isKernel;
+    int refCount = 1;
+    std::bitset<kMaxCpus> cpus;
+    std::uint64_t nMappings = 0;
+
+    /** Hook run by activate() for arches with contexts (SUN 3). */
+    virtual void onActivate(CpuId cpu) { (void)cpu; }
+    virtual void onDeactivate(CpuId cpu) { (void)cpu; }
+};
+
+/**
+ * The pmap module as a whole — the analogue of pmap.c plus its
+ * header.  Owns the kernel pmap, the physical attribute (modify /
+ * reference) table, and the physical-page-indexed operations of
+ * Table 3-3.  One subclass per supported architecture.
+ */
+class PmapSystem
+{
+  public:
+    explicit PmapSystem(Machine &machine);
+    virtual ~PmapSystem() = default;
+
+    PmapSystem(const PmapSystem &) = delete;
+    PmapSystem &operator=(const PmapSystem &) = delete;
+
+    /**
+     * Build the pmap module for @p machine's architecture.  This is
+     * the only place the rest of the system mentions machine types.
+     */
+    static std::unique_ptr<PmapSystem> build(Machine &machine);
+
+    /**
+     * pmap_init: tell the module the machine-independent page size
+     * (a power-of-two multiple of the hardware page size) and the
+     * range of managed physical addresses.
+     */
+    virtual void init(VmSize mach_page_size);
+
+    /** pmap_create: make a new (user) physical map. */
+    Pmap *create();
+
+    /** pmap_destroy: drop a reference, reclaiming at zero. */
+    void destroy(Pmap *pmap);
+
+    /** The kernel's own map: always complete and accurate. */
+    Pmap *kernelPmap() { return kernel; }
+
+    /** @name Physical-page-indexed operations @{ */
+    /** Remove a physical page from all maps [pageout]. */
+    virtual void removeAll(PhysAddr pa, ShootdownMode mode) = 0;
+    void removeAll(PhysAddr pa) { removeAll(pa, policy.pageout); }
+
+    /** Revoke write access from all maps [virtual copy]. */
+    virtual void copyOnWrite(PhysAddr pa, ShootdownMode mode) = 0;
+    void copyOnWrite(PhysAddr pa) { copyOnWrite(pa, policy.protect); }
+
+    /** pmap_zero_page. */
+    void zeroPage(PhysAddr pa);
+
+    /** pmap_copy_page. */
+    void copyPage(PhysAddr src, PhysAddr dst);
+    /** @} */
+
+    /** @name Modify/reference bit maintenance @{ */
+    bool isModified(PhysAddr pa);
+    bool isReferenced(PhysAddr pa);
+    /**
+     * Clear the modify attribute.  Also removes the page's hardware
+     * mappings so the next write is observed (the simulated TLB
+     * would otherwise swallow it), exactly as ref-bit-less hardware
+     * like the VAX forces Mach to simulate attributes by
+     * invalidation.
+     */
+    void clearModify(PhysAddr pa,
+                     ShootdownMode mode = ShootdownMode::Immediate);
+    /** Clear the reference attribute (same invalidation caveat). */
+    void clearReference(PhysAddr pa,
+                        ShootdownMode mode = ShootdownMode::Immediate);
+
+    /**
+     * Reset both attributes without touching mappings.  Only valid
+     * when the page has no mappings left (frame being freed).
+     */
+    void resetAttrs(PhysAddr pa);
+    /** @} */
+
+    Machine &getMachine() { return machine; }
+    VmSize machPageSize() const { return machPage; }
+    VmSize hwPageSize() const { return machine.spec.hwPageSize(); }
+
+    /** Shootdown strategy table (ablation hook). */
+    ShootdownPolicy policy;
+
+    /**
+     * Use the optional pmap_copy (Table 3-4) at fork: pre-seed the
+     * child's map with read-only copies of the parent's mappings,
+     * trading pmap work now for avoided read faults later.  Off by
+     * default, as on most 1987 ports ("these routines need not
+     * perform any hardware function").
+     */
+    bool usePmapCopy = false;
+
+    /** @name Statistics @{ */
+    std::uint64_t shootdownIpis = 0;   //!< IPIs sent for consistency
+    std::uint64_t deferredFlushes = 0; //!< flushes queued to tick
+    std::uint64_t lazySkips = 0;       //!< flushes skipped (case 3)
+    std::uint64_t aliasEvictions = 0;  //!< RT PC one-mapping conflicts
+    std::uint64_t contextSteals = 0;   //!< SUN 3 context replacement
+    std::uint64_t pmegSteals = 0;      //!< SUN 3 page-map-group steals
+    std::uint64_t tablePagesBuilt = 0; //!< lazily constructed tables
+    std::uint64_t tablePagesFreed = 0;
+    /** @} */
+
+    /**
+     * Flush [start, end) of @p pmap from every TLB that may hold it,
+     * honoring @p mode.  Used by Pmap subclasses and by the
+     * attribute-clearing paths.
+     */
+    void shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
+                        ShootdownMode mode);
+
+    /** Charge a machine-dependent operation cost. */
+    void chargePmap(SimTime ns);
+
+  protected:
+    /** Subclasses allocate their concrete pmap type. */
+    virtual std::unique_ptr<Pmap> allocatePmap(bool kernel) = 0;
+
+    /** Set a physical attribute bit (called via Pmap defaults). */
+    friend class Pmap;
+    void setModifiedAttr(PhysAddr pa);
+    void setReferencedAttr(PhysAddr pa);
+
+    Machine &machine;
+    Pmap *kernel = nullptr;
+    VmSize machPage = 0;
+
+    /** Per-hardware-frame modify/reference attributes. */
+    struct PhysAttr
+    {
+        bool modified = false;
+        bool referenced = false;
+    };
+    std::vector<PhysAttr> attrs;
+
+    std::vector<std::unique_ptr<Pmap>> allPmaps;
+
+    FrameNum frameOf(PhysAddr pa) const
+    {
+        return pa >> machine.spec.hwPageShift;
+    }
+};
+
+} // namespace mach
+
+#endif // MACH_PMAP_PMAP_HH

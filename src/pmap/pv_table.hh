@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical-to-virtual mapping table.
+ *
+ * Several pmap modules must implement the physical-page-indexed
+ * operations of Table 3-3 (pmap_remove_all, pmap_copy_on_write) by
+ * finding every (pmap, va) that maps a frame.  Architectures with
+ * forward tables (VAX, SUN 3, NS32082, software TLB) keep this
+ * reverse index; the RT PC's inverted page table *is* its reverse
+ * index and does not need one.
+ */
+
+#ifndef MACH_PMAP_PV_TABLE_HH
+#define MACH_PMAP_PV_TABLE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mach
+{
+
+class Pmap;
+
+/** One virtual mapping of a physical frame. */
+struct PvEntry
+{
+    Pmap *pmap = nullptr;
+    VmOffset va = 0;
+};
+
+/** Reverse (frame -> virtual mappings) index. */
+class PvTable
+{
+  public:
+    /** Record that (@p pmap, @p va) maps hardware frame @p frame. */
+    void add(FrameNum frame, Pmap *pmap, VmOffset va);
+
+    /** Remove one mapping record; no-op if absent. */
+    void remove(FrameNum frame, Pmap *pmap, VmOffset va);
+
+    /**
+     * Snapshot the mappings of @p frame.  Returned by value so the
+     * caller can remove entries while iterating.
+     */
+    std::vector<PvEntry> mappings(FrameNum frame) const;
+
+    /** True if @p frame has no recorded mappings. */
+    bool empty(FrameNum frame) const;
+
+    /** Total recorded mappings (for leak checks in tests). */
+    std::size_t totalMappings() const;
+
+  private:
+    std::unordered_map<FrameNum, std::vector<PvEntry>> table;
+};
+
+} // namespace mach
+
+#endif // MACH_PMAP_PV_TABLE_HH

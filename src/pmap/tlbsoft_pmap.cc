@@ -1,0 +1,178 @@
+#include "pmap/tlbsoft_pmap.hh"
+
+namespace mach
+{
+
+TlbSoftPmap::TlbSoftPmap(TlbSoftPmapSystem &tsys, bool kernel)
+    : Pmap(tsys, kernel), tsys(tsys)
+{
+}
+
+void
+TlbSoftPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+{
+    const MachineSpec &spec = tsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    VmSize machPage = tsys.machPageSize();
+    MACH_ASSERT(va % machPage == 0 && pa % machPage == 0);
+
+    for (VmSize off = 0; off < machPage; off += hw) {
+        VmOffset vpn = (va + off) >> spec.hwPageShift;
+        auto it = dict.find(vpn);
+        if (it != dict.end()) {
+            tsys.pv.remove(it->second.pageBase >> spec.hwPageShift,
+                           this, va + off);
+            --nMappings;
+        }
+        dict[vpn] = Entry{pa + off, prot, wired};
+        tsys.pv.add((pa + off) >> spec.hwPageShift, this, va + off);
+        ++nMappings;
+        tsys.chargePmap(spec.costs.pmapEnter);
+    }
+    shootdown(va, va + machPage, ShootdownMode::Immediate);
+}
+
+void
+TlbSoftPmap::remove(VmOffset start, VmOffset end)
+{
+    const MachineSpec &spec = tsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    unsigned removed = 0;
+
+    if ((end - start) / hw <= dict.size()) {
+        for (VmOffset va = truncTo(start, hw); va < end; va += hw) {
+            auto it = dict.find(va >> spec.hwPageShift);
+            if (it == dict.end())
+                continue;
+            tsys.pv.remove(it->second.pageBase >> spec.hwPageShift,
+                           this, va);
+            dict.erase(it);
+            --nMappings;
+            ++removed;
+        }
+    } else {
+        for (auto it = dict.begin(); it != dict.end();) {
+            VmOffset va = it->first << spec.hwPageShift;
+            if (va >= start && va < end) {
+                tsys.pv.remove(it->second.pageBase >> spec.hwPageShift,
+                               this, va);
+                it = dict.erase(it);
+                --nMappings;
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    if (removed) {
+        tsys.chargePmap(SimTime(removed) * spec.costs.pmapRemovePerPage);
+        shootdown(start, end, tsys.policy.remove);
+    }
+}
+
+void
+TlbSoftPmap::protect(VmOffset start, VmOffset end, VmProt prot)
+{
+    if (protEmpty(prot)) {
+        remove(start, end);
+        return;
+    }
+    const MachineSpec &spec = tsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    unsigned changed = 0;
+    for (VmOffset va = truncTo(start, hw); va < end; va += hw) {
+        auto it = dict.find(va >> spec.hwPageShift);
+        if (it == dict.end())
+            continue;
+        it->second.prot &= prot;  // restrict only
+        ++changed;
+    }
+    if (changed) {
+        tsys.chargePmap(SimTime(changed) * spec.costs.pmapProtectPerPage);
+        shootdown(start, end, tsys.policy.protect);
+    }
+}
+
+std::optional<PhysAddr>
+TlbSoftPmap::extract(VmOffset va)
+{
+    const MachineSpec &spec = tsys.getMachine().spec;
+    auto it = dict.find(va >> spec.hwPageShift);
+    if (it == dict.end())
+        return std::nullopt;
+    return it->second.pageBase + (va & (spec.hwPageSize() - 1));
+}
+
+void
+TlbSoftPmap::garbageCollect()
+{
+    if (kernel())
+        return;
+    const MachineSpec &spec = tsys.getMachine().spec;
+    for (auto it = dict.begin(); it != dict.end();) {
+        if (it->second.wired) {
+            ++it;
+            continue;
+        }
+        VmOffset va = it->first << spec.hwPageShift;
+        tsys.pv.remove(it->second.pageBase >> spec.hwPageShift, this,
+                       va);
+        it = dict.erase(it);
+        --nMappings;
+    }
+    // A full software-TLB sweep invalidates everything at once.
+    shootdown(0, spec.effectiveVaLimit(), ShootdownMode::Immediate);
+}
+
+std::optional<HwTranslation>
+TlbSoftPmap::hwLookup(VmOffset va, AccessType access)
+{
+    (void)access;
+    const MachineSpec &spec = tsys.getMachine().spec;
+    auto it = dict.find(va >> spec.hwPageShift);
+    if (it == dict.end())
+        return std::nullopt;
+    return HwTranslation{it->second.pageBase, it->second.prot,
+                         it->second.wired};
+}
+
+void
+TlbSoftPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+{
+    const MachineSpec &spec = machine.spec;
+    VmSize hw = spec.hwPageSize();
+    for (VmSize off = 0; off < machPageSize(); off += hw) {
+        FrameNum frame = (pa + off) >> spec.hwPageShift;
+        for (const PvEntry &e : pv.mappings(frame)) {
+            auto *tp = static_cast<TlbSoftPmap *>(e.pmap);
+            auto it = tp->dict.find(e.va >> spec.hwPageShift);
+            MACH_ASSERT(it != tp->dict.end());
+            pv.remove(frame, tp, e.va);
+            tp->dict.erase(it);
+            --tp->nMappings;
+            chargePmap(spec.costs.pmapRemovePerPage);
+            shootdownRange(*tp, e.va, e.va + hw, mode);
+        }
+    }
+}
+
+void
+TlbSoftPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+{
+    const MachineSpec &spec = machine.spec;
+    VmSize hw = spec.hwPageSize();
+    for (VmSize off = 0; off < machPageSize(); off += hw) {
+        FrameNum frame = (pa + off) >> spec.hwPageShift;
+        for (const PvEntry &e : pv.mappings(frame)) {
+            auto *tp = static_cast<TlbSoftPmap *>(e.pmap);
+            auto it = tp->dict.find(e.va >> spec.hwPageShift);
+            MACH_ASSERT(it != tp->dict.end());
+            it->second.prot &= ~VmProt::Write;
+            chargePmap(spec.costs.pmapProtectPerPage);
+            shootdownRange(*tp, e.va, e.va + hw, mode);
+        }
+    }
+}
+
+} // namespace mach

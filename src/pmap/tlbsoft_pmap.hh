@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Software-TLB pmap (the IBM RP3 simulator case).
+ *
+ * The paper (section 5): "In principle, Mach needs no in-memory
+ * hardware-defined data structure to manage virtual memory.  Machines
+ * which provide only an easily manipulated TLB could be accommodated
+ * by Mach and would need little code to be written for the pmap
+ * module.  In fact, a version of Mach has already run on a simulator
+ * for the IBM RP3 which assumed only TLB hardware support."
+ *
+ * This module demonstrates that: the "hardware structure" is a plain
+ * dictionary consulted by the software TLB-refill handler, and the
+ * whole module is a fraction of the size of the others.
+ */
+
+#ifndef MACH_PMAP_TLBSOFT_PMAP_HH
+#define MACH_PMAP_TLBSOFT_PMAP_HH
+
+#include <unordered_map>
+
+#include "pmap/pmap.hh"
+#include "pmap/pv_table.hh"
+
+namespace mach
+{
+
+class TlbSoftPmapSystem;
+
+/** A software-refill pmap: a dictionary of live translations. */
+class TlbSoftPmap : public Pmap
+{
+  public:
+    TlbSoftPmap(TlbSoftPmapSystem &tsys, bool kernel);
+
+    void enter(VmOffset va, PhysAddr pa, VmProt prot,
+               bool wired) override;
+    void remove(VmOffset start, VmOffset end) override;
+    void protect(VmOffset start, VmOffset end, VmProt prot) override;
+    std::optional<PhysAddr> extract(VmOffset va) override;
+    void garbageCollect() override;
+
+    std::optional<HwTranslation> hwLookup(VmOffset va,
+                                          AccessType access) override;
+
+  private:
+    friend class TlbSoftPmapSystem;
+
+    struct Entry
+    {
+        PhysAddr pageBase = 0;
+        VmProt prot = VmProt::None;
+        bool wired = false;
+    };
+
+    TlbSoftPmapSystem &tsys;
+    std::unordered_map<VmOffset, Entry> dict;  //!< keyed by hw vpn
+};
+
+/** The software-TLB pmap module. */
+class TlbSoftPmapSystem : public PmapSystem
+{
+  public:
+    explicit TlbSoftPmapSystem(Machine &machine) : PmapSystem(machine)
+    {
+    }
+
+    void removeAll(PhysAddr pa, ShootdownMode mode) override;
+    using PmapSystem::removeAll;
+    void copyOnWrite(PhysAddr pa, ShootdownMode mode) override;
+    using PmapSystem::copyOnWrite;
+
+  protected:
+    std::unique_ptr<Pmap> allocatePmap(bool kernel) override
+    {
+        return std::make_unique<TlbSoftPmap>(*this, kernel);
+    }
+
+  private:
+    friend class TlbSoftPmap;
+    PvTable pv;
+};
+
+} // namespace mach
+
+#endif // MACH_PMAP_TLBSOFT_PMAP_HH

@@ -1,0 +1,295 @@
+#include "pmap/vax_pmap.hh"
+
+#include <algorithm>
+
+namespace mach
+{
+
+LinearPmap::LinearPmap(LinearPmapSystem &lsys, bool kernel)
+    : Pmap(lsys, kernel), lsys(lsys)
+{
+}
+
+LinearPmap::Pte *
+LinearPmap::lookupPte(VmOffset va)
+{
+    VmOffset vpn = va >> lsys.getMachine().spec.hwPageShift;
+    VmOffset index = vpn / lsys.ptesPerTablePage();
+    auto it = tables.find(index);
+    if (it == tables.end())
+        return nullptr;
+    return &it->second->ptes[vpn % lsys.ptesPerTablePage()];
+}
+
+LinearPmap::Pte *
+LinearPmap::forcePte(VmOffset va)
+{
+    VmOffset vpn = va >> lsys.getMachine().spec.hwPageShift;
+    VmOffset index = vpn / lsys.ptesPerTablePage();
+    auto it = tables.find(index);
+    if (it == tables.end()) {
+        auto pt = std::make_unique<PtPage>();
+        pt->ptes.resize(lsys.ptesPerTablePage());
+        it = tables.emplace(index, std::move(pt)).first;
+        lsys.chargePmap(lsys.getMachine().spec.costs.ptePageAlloc);
+        ++lsys.tablePagesBuilt;
+    }
+    return &it->second->ptes[vpn % lsys.ptesPerTablePage()];
+}
+
+void
+LinearPmap::invalidatePte(VmOffset va, PtPage &pt, Pte &pte)
+{
+    MACH_ASSERT(pte.valid);
+    lsys.pv().remove(pte.pageBase >> lsys.getMachine().spec.hwPageShift,
+                     this, va);
+    pte.valid = false;
+    if (pte.wired) {
+        pte.wired = false;
+        --pt.wiredCount;
+    }
+    --pt.validCount;
+    --nMappings;
+}
+
+void
+LinearPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+{
+    const MachineSpec &spec = lsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    VmSize machPage = lsys.machPageSize();
+    MACH_ASSERT(va % machPage == 0 && pa % machPage == 0);
+
+    // One machine-independent page expands to machPage/hw PTEs.
+    for (VmSize off = 0; off < machPage; off += hw) {
+        Pte *pte = forcePte(va + off);
+        VmOffset vpn = (va + off) >> spec.hwPageShift;
+        VmOffset index = vpn / lsys.ptesPerTablePage();
+        PtPage &pt = *tables[index];
+        if (pte->valid)
+            invalidatePte(va + off, pt, *pte);
+        pte->valid = true;
+        pte->pageBase = pa + off;
+        pte->prot = prot;
+        pte->wired = wired;
+        if (wired)
+            ++pt.wiredCount;
+        ++pt.validCount;
+        ++nMappings;
+        lsys.pv().add((pa + off) >> spec.hwPageShift, this, va + off);
+        lsys.chargePmap(spec.costs.pmapEnter);
+    }
+    // The entered translation may shadow a stale TLB entry.
+    shootdown(va, va + machPage, ShootdownMode::Immediate);
+}
+
+void
+LinearPmap::remove(VmOffset start, VmOffset end)
+{
+    const MachineSpec &spec = lsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    unsigned removed = 0;
+
+    // Walk only the table pages that overlap [start, end).
+    VmOffset first_index =
+        (start >> spec.hwPageShift) / lsys.ptesPerTablePage();
+    auto it = tables.lower_bound(first_index);
+    while (it != tables.end()) {
+        VmOffset base = it->first * lsys.ptesPerTablePage() * hw;
+        if (base >= end)
+            break;
+        PtPage &pt = *it->second;
+        for (unsigned i = 0; i < lsys.ptesPerTablePage(); ++i) {
+            VmOffset va = base + VmOffset(i) * hw;
+            if (va < start || va >= end)
+                continue;
+            Pte &pte = pt.ptes[i];
+            if (pte.valid) {
+                invalidatePte(va, pt, pte);
+                ++removed;
+            }
+        }
+        if (pt.validCount == 0) {
+            it = tables.erase(it);
+            ++lsys.tablePagesFreed;
+        } else {
+            ++it;
+        }
+    }
+
+    if (removed) {
+        lsys.chargePmap(SimTime(removed) * spec.costs.pmapRemovePerPage);
+        shootdown(start, end, lsys.policy.remove);
+    }
+}
+
+void
+LinearPmap::protect(VmOffset start, VmOffset end, VmProt prot)
+{
+    if (protEmpty(prot)) {
+        remove(start, end);
+        return;
+    }
+    const MachineSpec &spec = lsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    unsigned changed = 0;
+    for (VmOffset va = truncTo(start, hw); va < end; va += hw) {
+        Pte *pte = lookupPte(va);
+        if (pte && pte->valid) {
+            pte->prot &= prot;  // restrict only
+            ++changed;
+        }
+    }
+    if (changed) {
+        lsys.chargePmap(SimTime(changed) * spec.costs.pmapProtectPerPage);
+        shootdown(start, end, lsys.policy.protect);
+    }
+}
+
+std::optional<PhysAddr>
+LinearPmap::extract(VmOffset va)
+{
+    const MachineSpec &spec = lsys.getMachine().spec;
+    Pte *pte = lookupPte(va);
+    if (!pte || !pte->valid)
+        return std::nullopt;
+    return pte->pageBase + (va & (spec.hwPageSize() - 1));
+}
+
+std::optional<HwTranslation>
+LinearPmap::hwLookup(VmOffset va, AccessType access)
+{
+    (void)access;  // a linear table serves any requester
+    Pte *pte = lookupPte(va);
+    if (!pte || !pte->valid)
+        return std::nullopt;
+    return HwTranslation{pte->pageBase, pte->prot, pte->wired};
+}
+
+void
+LinearPmap::copyFrom(Pmap &src, VmOffset dst_addr, VmSize len,
+                     VmOffset src_addr)
+{
+    auto *sp = dynamic_cast<LinearPmap *>(&src);
+    if (!sp)
+        return;
+    const MachineSpec &spec = lsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    for (VmSize off = 0; off < len; off += hw) {
+        Pte *pte = sp->lookupPte(src_addr + off);
+        if (!pte || !pte->valid || pte->wired)
+            continue;
+        Pte *mine = forcePte(dst_addr + off);
+        if (mine->valid)
+            continue;  // never overwrite an existing mapping
+        mine->valid = true;
+        mine->pageBase = pte->pageBase;
+        // Read-only: a write must still take the COW fault.
+        mine->prot = pte->prot & ~VmProt::Write;
+        mine->wired = false;
+        VmOffset vpn = (dst_addr + off) >> spec.hwPageShift;
+        ++tables[vpn / lsys.ptesPerTablePage()]->validCount;
+        ++nMappings;
+        lsys.pv().add(pte->pageBase >> spec.hwPageShift, this,
+                      dst_addr + off);
+        lsys.chargePmap(spec.costs.pmapEnter / 2);
+    }
+}
+
+void
+LinearPmap::trimEmptyTables()
+{
+    for (auto it = tables.begin(); it != tables.end();) {
+        if (it->second->validCount == 0) {
+            it = tables.erase(it);
+            ++lsys.tablePagesFreed;
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+LinearPmap::garbageCollect()
+{
+    // Kernel mappings must stay complete and accurate.
+    if (kernel())
+        return;
+    const MachineSpec &spec = lsys.getMachine().spec;
+    VmSize hw = spec.hwPageSize();
+    VmOffset flush_lo = ~VmOffset(0);
+    VmOffset flush_hi = 0;
+    for (auto it = tables.begin(); it != tables.end();) {
+        PtPage &pt = *it->second;
+        if (pt.wiredCount > 0) {
+            ++it;
+            continue;
+        }
+        // Drop the whole table page: the machine-independent layer
+        // can rebuild every mapping at fault time.
+        VmOffset base = it->first * lsys.ptesPerTablePage() * hw;
+        for (unsigned i = 0; i < lsys.ptesPerTablePage(); ++i) {
+            Pte &pte = pt.ptes[i];
+            if (pte.valid)
+                invalidatePte(base + VmOffset(i) * hw, pt, pte);
+        }
+        flush_lo = std::min(flush_lo, base);
+        flush_hi = std::max(flush_hi,
+                            base + lsys.ptesPerTablePage() * hw);
+        it = tables.erase(it);
+        ++lsys.tablePagesFreed;
+    }
+    if (flush_hi > flush_lo)
+        shootdown(flush_lo, flush_hi, ShootdownMode::Immediate);
+}
+
+LinearPmapSystem::LinearPmapSystem(Machine &machine)
+    : PmapSystem(machine)
+{
+}
+
+std::unique_ptr<Pmap>
+LinearPmapSystem::allocatePmap(bool kernel)
+{
+    return std::make_unique<LinearPmap>(*this, kernel);
+}
+
+void
+LinearPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+{
+    const MachineSpec &spec = machine.spec;
+    VmSize hw = spec.hwPageSize();
+    for (VmSize off = 0; off < machPageSize(); off += hw) {
+        FrameNum frame = (pa + off) >> spec.hwPageShift;
+        for (const PvEntry &e : pvTable.mappings(frame)) {
+            auto *lp = static_cast<LinearPmap *>(e.pmap);
+            LinearPmap::Pte *pte = lp->lookupPte(e.va);
+            MACH_ASSERT(pte && pte->valid);
+            VmOffset vpn = e.va >> spec.hwPageShift;
+            VmOffset index = vpn / ptesPerPage;
+            lp->invalidatePte(e.va, *lp->tables[index], *pte);
+            chargePmap(spec.costs.pmapRemovePerPage);
+            shootdownRange(*lp, e.va, e.va + hw, mode);
+        }
+    }
+}
+
+void
+LinearPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+{
+    const MachineSpec &spec = machine.spec;
+    VmSize hw = spec.hwPageSize();
+    for (VmSize off = 0; off < machPageSize(); off += hw) {
+        FrameNum frame = (pa + off) >> spec.hwPageShift;
+        for (const PvEntry &e : pvTable.mappings(frame)) {
+            auto *lp = static_cast<LinearPmap *>(e.pmap);
+            LinearPmap::Pte *pte = lp->lookupPte(e.va);
+            MACH_ASSERT(pte && pte->valid);
+            pte->prot &= ~VmProt::Write;
+            chargePmap(spec.costs.pmapProtectPerPage);
+            shootdownRange(*lp, e.va, e.va + hw, mode);
+        }
+    }
+}
+
+} // namespace mach

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * VAX-style pmap: lazily constructed linear page tables.
+ *
+ * The paper (section 5.1): a full 2GB VAX address space would need
+ * 8MB of linear page table, so Mach keeps page tables in physical
+ * memory but "only constructs those parts of the table which were
+ * needed to actually map virtual to real addresses for pages
+ * currently in use", creating and destroying VAX page tables as
+ * necessary to conserve space or improve runtime.
+ *
+ * The mechanism (a sparse set of page-table pages, built on demand
+ * and garbage-collectable) is shared with the NS32082 module, which
+ * differs only in geometry and its address-space limits; the common
+ * machinery lives in LinearPmap / LinearPmapSystem here.
+ */
+
+#ifndef MACH_PMAP_VAX_PMAP_HH
+#define MACH_PMAP_VAX_PMAP_HH
+
+#include <map>
+#include <memory>
+
+#include "pmap/pmap.hh"
+#include "pmap/pv_table.hh"
+
+namespace mach
+{
+
+class LinearPmapSystem;
+
+/** A pmap backed by lazily-built linear page-table pages. */
+class LinearPmap : public Pmap
+{
+  public:
+    LinearPmap(LinearPmapSystem &lsys, bool kernel);
+
+    void enter(VmOffset va, PhysAddr pa, VmProt prot,
+               bool wired) override;
+    void remove(VmOffset start, VmOffset end) override;
+    void protect(VmOffset start, VmOffset end, VmProt prot) override;
+    std::optional<PhysAddr> extract(VmOffset va) override;
+    void garbageCollect() override;
+
+    std::optional<HwTranslation> hwLookup(VmOffset va,
+                                          AccessType access) override;
+
+    /**
+     * Optional pmap_copy (Table 3-4): seed this map with read-only
+     * copies of @p src's mappings in the range — the child of a fork
+     * then takes no read faults for the parent's resident pages.
+     */
+    void copyFrom(Pmap &src, VmOffset dst_addr, VmSize len,
+                  VmOffset src_addr) override;
+
+    /** Number of page-table pages currently built (statistics). */
+    std::size_t tablePages() const { return tables.size(); }
+
+  private:
+    friend class LinearPmapSystem;
+
+    /** One hardware page-table entry. */
+    struct Pte
+    {
+        bool valid = false;
+        bool wired = false;
+        PhysAddr pageBase = 0;
+        VmProt prot = VmProt::None;
+    };
+
+    /** One lazily-built page of page table. */
+    struct PtPage
+    {
+        std::vector<Pte> ptes;
+        unsigned validCount = 0;
+        unsigned wiredCount = 0;
+    };
+
+    /** Find the PTE for @p va, or nullptr if its table is absent. */
+    Pte *lookupPte(VmOffset va);
+
+    /** Find-or-create the PTE for @p va (builds the table page). */
+    Pte *forcePte(VmOffset va);
+
+    /** Remove one hw mapping (PTE + pv entry); table GC separate. */
+    void invalidatePte(VmOffset va, PtPage &pt, Pte &pte);
+
+    /** Drop table pages with no valid PTEs. */
+    void trimEmptyTables();
+
+    LinearPmapSystem &lsys;
+    /** table-page index -> table page, sorted for ranged walks. */
+    std::map<VmOffset, std::unique_ptr<PtPage>> tables;
+};
+
+/** Shared system half for linear-page-table architectures. */
+class LinearPmapSystem : public PmapSystem
+{
+  public:
+    explicit LinearPmapSystem(Machine &machine);
+
+    void removeAll(PhysAddr pa, ShootdownMode mode) override;
+    using PmapSystem::removeAll;
+    void copyOnWrite(PhysAddr pa, ShootdownMode mode) override;
+    using PmapSystem::copyOnWrite;
+
+    /** PTEs that fit in one page-table page. */
+    unsigned ptesPerTablePage() const { return ptesPerPage; }
+
+    PvTable &pv() { return pvTable; }
+
+  protected:
+    std::unique_ptr<Pmap> allocatePmap(bool kernel) override;
+
+    /** PTE slots per table page; 512-byte page / 4-byte PTE = 128. */
+    unsigned ptesPerPage = 128;
+
+    PvTable pvTable;
+};
+
+/** The VAX instantiation of the linear-table pmap module. */
+class VaxPmapSystem : public LinearPmapSystem
+{
+  public:
+    explicit VaxPmapSystem(Machine &machine)
+        : LinearPmapSystem(machine)
+    {
+    }
+};
+
+} // namespace mach
+
+#endif // MACH_PMAP_VAX_PMAP_HH

@@ -1,0 +1,12 @@
+#include "sim/cost_model.hh"
+
+namespace mach
+{
+
+CostModel
+CostModel::defaults()
+{
+    return CostModel{};
+}
+
+} // namespace mach

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-architecture operation cost tables.
+ *
+ * Every simulated machine carries a CostModel whose entries are
+ * calibrated against the 1987 measurements the paper reports (Table
+ * 7-1): bulk copy bandwidth, trap overheads, page-table edit costs,
+ * TLB and IPI costs, and disk characteristics.  The UNIX-baseline
+ * penalty fields model where 4.3bsd spends extra time (eager fork
+ * copies, buffer-cache double copies, heavier fault path).
+ *
+ * All values are nanoseconds of simulated time.
+ */
+
+#ifndef MACH_SIM_COST_MODEL_HH
+#define MACH_SIM_COST_MODEL_HH
+
+#include "base/types.hh"
+
+namespace mach
+{
+
+/** Operation costs for one simulated architecture (nanoseconds). */
+struct CostModel
+{
+    /** @name Raw memory @{ */
+    double copyPerByte = 0.4;     //!< bulk copy, ns per byte
+    double zeroPerByte = 0.3;     //!< zero fill, ns per byte
+    /** @} */
+
+    /** @name Traps and kernel software @{ */
+    SimTime faultTrap = 50000;     //!< hardware trap entry + exit
+    SimTime faultSoftware = 150000; //!< machine-independent fault path
+    SimTime syscall = 30000;       //!< system call entry + exit
+    SimTime mapEntryOp = 15000;    //!< address map entry manipulation
+    SimTime pageQueueOp = 5000;    //!< resident page table bookkeeping
+    SimTime msgOp = 40000;         //!< send or receive one message
+    /** @} */
+
+    /** @name Machine-dependent (pmap) operations @{ */
+    SimTime pmapEnter = 20000;        //!< install one hardware mapping
+    SimTime pmapRemovePerPage = 8000; //!< invalidate one mapping
+    SimTime pmapProtectPerPage = 8000; //!< change one mapping's access
+    SimTime pmapCreate = 50000;       //!< create a physical map
+    SimTime ptePageAlloc = 40000;     //!< build one page-table page
+    /** @} */
+
+    /** @name Translation hardware @{ */
+    SimTime ptWalk = 2000;        //!< hardware walk on TLB miss
+    SimTime tlbFlushAll = 12000;  //!< flush an entire TLB
+    SimTime tlbFlushEntry = 1500; //!< flush one TLB entry
+    SimTime ipi = 60000;          //!< deliver one inter-processor intr
+    SimTime contextLoad = 10000;  //!< activate a pmap on a CPU
+    SimTime contextSteal = 80000; //!< evict a hardware context (SUN 3)
+    /** @} */
+
+    /** @name Process-level fixed costs @{ */
+    SimTime forkFixed = 15000000;  //!< task+thread creation at fork
+    SimTime execFixed = 8000000;   //!< address-space teardown + build
+    /** @} */
+
+    /** @name Disk @{ */
+    SimTime diskLatency = 20000000; //!< per-operation seek+rotate
+    double diskPerByte = 1.0;       //!< transfer, ns per byte
+    /** @} */
+
+    /** @name UNIX 4.3bsd baseline penalties @{ */
+    SimTime unixFaultExtra = 80000;   //!< heavier 4.3bsd fault path
+    SimTime unixForkPerPage = 60000;  //!< per-page fork bookkeeping
+    SimTime unixSyscallExtra = 10000; //!< heavier syscall path
+    SimTime unixBufferOp = 150000;    //!< getblk/brelse per block
+    /** @} */
+
+    /** Cost of copying @p bytes of memory. */
+    SimTime
+    copyCost(VmSize bytes) const
+    {
+        return static_cast<SimTime>(copyPerByte * bytes);
+    }
+
+    /** Cost of zero-filling @p bytes of memory. */
+    SimTime
+    zeroCost(VmSize bytes) const
+    {
+        return static_cast<SimTime>(zeroPerByte * bytes);
+    }
+
+    /** Cost of one disk transfer of @p bytes. */
+    SimTime
+    diskCost(VmSize bytes) const
+    {
+        return diskLatency + static_cast<SimTime>(diskPerByte * bytes);
+    }
+
+    /** Baseline defaults, roughly a 2-MIPS 1987 minicomputer. */
+    static CostModel defaults();
+};
+
+} // namespace mach
+
+#endif // MACH_SIM_COST_MODEL_HH

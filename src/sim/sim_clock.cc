@@ -1,0 +1,32 @@
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+const char *
+costKindName(CostKind kind)
+{
+    switch (kind) {
+      case CostKind::MemCopy: return "mem-copy";
+      case CostKind::MemZero: return "mem-zero";
+      case CostKind::FaultTrap: return "fault-trap";
+      case CostKind::Software: return "software";
+      case CostKind::PmapOp: return "pmap-op";
+      case CostKind::TlbMiss: return "tlb-miss";
+      case CostKind::TlbFlush: return "tlb-flush";
+      case CostKind::Ipi: return "ipi";
+      case CostKind::Disk: return "disk";
+      case CostKind::Ipc: return "ipc";
+      case CostKind::NumKinds: break;
+    }
+    return "unknown";
+}
+
+void
+SimClock::reset()
+{
+    time = 0;
+    byKind.fill(0);
+}
+
+} // namespace mach

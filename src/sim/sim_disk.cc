@@ -1,0 +1,58 @@
+#include "sim/sim_disk.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+SimDisk::SimDisk(SimClock &clock, const CostModel &costs,
+                 std::uint64_t capacity_bytes)
+    : clock(clock), costs(costs), store(capacity_bytes, 0)
+{
+}
+
+void
+SimDisk::checkRange(std::uint64_t offset, std::uint64_t len) const
+{
+    if (offset + len > store.size() || offset + len < offset) {
+        panic("SimDisk access [%llu, %llu) beyond capacity %zu",
+              (unsigned long long)offset,
+              (unsigned long long)(offset + len), store.size());
+    }
+}
+
+void
+SimDisk::read(std::uint64_t offset, void *buf, std::uint64_t len)
+{
+    checkRange(offset, len);
+    std::memcpy(buf, store.data() + offset, len);
+    clock.charge(CostKind::Disk, costs.diskCost(len));
+    ++reads;
+    bytes += len;
+}
+
+void
+SimDisk::write(std::uint64_t offset, const void *buf, std::uint64_t len)
+{
+    checkRange(offset, len);
+    std::memcpy(store.data() + offset, buf, len);
+    clock.charge(CostKind::Disk, costs.diskCost(len));
+    ++writes;
+    bytes += len;
+}
+
+void
+SimDisk::writeAsync(std::uint64_t offset, const void *buf,
+                    std::uint64_t len)
+{
+    checkRange(offset, len);
+    std::memcpy(store.data() + offset, buf, len);
+    clock.charge(CostKind::Disk,
+                 static_cast<SimTime>(costs.diskPerByte * len));
+    ++writes;
+    bytes += len;
+}
+
+} // namespace mach

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulated disk: a flat byte-addressed store with latency modeling.
+ *
+ * Backs both the default (swap) pager and the simulated inode file
+ * system.  Data is real — bytes written are the bytes later read — so
+ * end-to-end integrity through pageout/pagein is testable.
+ */
+
+#ifndef MACH_SIM_SIM_DISK_HH
+#define MACH_SIM_SIM_DISK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/cost_model.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+/** A simulated disk device. */
+class SimDisk
+{
+  public:
+    /**
+     * @param clock machine clock to charge transfer time to
+     * @param costs cost table supplying latency and bandwidth
+     * @param capacity_bytes disk size
+     */
+    SimDisk(SimClock &clock, const CostModel &costs,
+            std::uint64_t capacity_bytes);
+
+    std::uint64_t capacity() const { return store.size(); }
+
+    /** Read @p len bytes at @p offset into @p buf, charging time. */
+    void read(std::uint64_t offset, void *buf, std::uint64_t len);
+
+    /** Write @p len bytes at @p offset from @p buf, charging time. */
+    void write(std::uint64_t offset, const void *buf, std::uint64_t len);
+
+    /**
+     * Asynchronous (write-behind) write: the seek/rotate latency
+     * overlaps with computation, so only the transfer is charged.
+     */
+    void writeAsync(std::uint64_t offset, const void *buf,
+                    std::uint64_t len);
+
+    /** Number of read operations performed. */
+    std::uint64_t readOps() const { return reads; }
+    /** Number of write operations performed. */
+    std::uint64_t writeOps() const { return writes; }
+    /** Total bytes transferred in either direction. */
+    std::uint64_t bytesTransferred() const { return bytes; }
+
+  private:
+    void checkRange(std::uint64_t offset, std::uint64_t len) const;
+
+    SimClock &clock;
+    const CostModel &costs;
+    std::vector<std::uint8_t> store;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_SIM_SIM_DISK_HH

@@ -1,0 +1,226 @@
+#include "unix/unix_vm.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+UnixVm::UnixVm(Machine &machine, unsigned num_buffers)
+    : machine(machine), page(machine.spec.hwPageSize()),
+      disk(machine.clock(), machine.spec.costs, 256ull << 20),
+      fs(disk),
+      bcache(fs, machine.clock(), machine.spec.costs, num_buffers)
+{
+    // Build the frame free list from usable physical memory.
+    const MachineSpec &spec = machine.spec;
+    PhysAddr limit = spec.physAddrLimit ? spec.physAddrLimit
+                                        : spec.physMemBytes;
+    for (PhysAddr pa = 0; pa + page <= limit; pa += page) {
+        if (machine.memory().usable(pa, page))
+            freeFrames.push_back(pa);
+    }
+}
+
+PhysAddr
+UnixVm::allocFrame()
+{
+    if (freeFrames.empty())
+        fatal("UNIX baseline: out of physical memory");
+    PhysAddr pa = freeFrames.back();
+    freeFrames.pop_back();
+    return pa;
+}
+
+void
+UnixVm::freeFrame(PhysAddr pa)
+{
+    freeFrames.push_back(pa);
+}
+
+UnixProc *
+UnixVm::procCreate()
+{
+    auto proc = std::make_unique<UnixProc>();
+    proc->pid = nextPid++;
+    UnixProc *raw = proc.get();
+    procs.push_back(std::move(proc));
+    return raw;
+}
+
+void
+UnixVm::procDestroy(UnixProc *proc)
+{
+    for (auto &[va, pa] : proc->pages)
+        freeFrame(pa);
+    proc->pages.clear();
+    proc->alive = false;
+    auto it = std::find_if(procs.begin(), procs.end(),
+                           [&](const auto &p) {
+                               return p.get() == proc;
+                           });
+    MACH_ASSERT(it != procs.end());
+    procs.erase(it);
+}
+
+bool
+UnixVm::allocated(const UnixProc &proc, VmOffset va) const
+{
+    for (const auto &[start, size] : proc.regions) {
+        if (va >= start && va < start + size)
+            return true;
+    }
+    return false;
+}
+
+KernReturn
+UnixVm::allocate(UnixProc &proc, VmOffset *addr, VmSize size)
+{
+    size = roundTo(size, page);
+    // First fit after the last region.
+    VmOffset candidate = page;
+    for (const auto &[start, rsize] : proc.regions)
+        candidate = std::max(candidate, start + rsize);
+    proc.regions.emplace_back(candidate, size);
+    *addr = candidate;
+    machine.clock().charge(CostKind::Software,
+                           machine.spec.costs.syscall +
+                               machine.spec.costs.unixSyscallExtra);
+    return KernReturn::Success;
+}
+
+KernReturn
+UnixVm::touch(UnixProc &proc, VmOffset va, VmSize len, bool write)
+{
+    (void)write;
+    const CostModel &costs = machine.spec.costs;
+    VmOffset end = va + len;
+    for (VmOffset p = truncTo(va, page); p < end; p += page) {
+        if (proc.pages.count(p))
+            continue;
+        if (!allocated(proc, p))
+            return KernReturn::InvalidAddress;
+        // Demand zero-fill through the heavier 4.3bsd fault path.
+        ++faults;
+        machine.clock().charge(CostKind::FaultTrap, costs.faultTrap);
+        machine.clock().charge(CostKind::Software,
+                               costs.faultSoftware +
+                                   costs.unixFaultExtra);
+        machine.clock().charge(CostKind::PmapOp, costs.pmapEnter);
+        PhysAddr frame = allocFrame();
+        machine.memory().zero(frame, page);
+        proc.pages[p] = frame;
+    }
+    return KernReturn::Success;
+}
+
+UnixProc *
+UnixVm::fork(UnixProc &parent)
+{
+    const CostModel &costs = machine.spec.costs;
+    machine.clock().charge(CostKind::Software, costs.forkFixed);
+
+    UnixProc *child = procCreate();
+    child->regions = parent.regions;
+    // 4.3bsd fork: physically copy every resident page of the
+    // parent into freshly allocated frames for the child.
+    for (const auto &[va, pa] : parent.pages) {
+        PhysAddr frame = allocFrame();
+        machine.memory().copy(pa, frame, page);
+        machine.clock().charge(CostKind::Software,
+                               costs.unixForkPerPage);
+        child->pages[va] = frame;
+        ++forkPagesCopied;
+    }
+    return child;
+}
+
+KernReturn
+UnixVm::procWrite(UnixProc &proc, VmOffset va, const void *buf,
+                  VmSize len)
+{
+    KernReturn kr = touch(proc, va, len, true);
+    if (kr != KernReturn::Success)
+        return kr;
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = va + done;
+        VmOffset in_page = pos & (page - 1);
+        VmSize chunk = std::min<VmSize>(len - done, page - in_page);
+        machine.memory().write(proc.pages[truncTo(pos, page)] + in_page,
+                               in + done, chunk);
+        done += chunk;
+    }
+    return KernReturn::Success;
+}
+
+KernReturn
+UnixVm::procRead(UnixProc &proc, VmOffset va, void *buf, VmSize len)
+{
+    KernReturn kr = touch(proc, va, len, false);
+    if (kr != KernReturn::Success)
+        return kr;
+    auto *out = static_cast<std::uint8_t *>(buf);
+    VmSize done = 0;
+    while (done < len) {
+        VmOffset pos = va + done;
+        VmOffset in_page = pos & (page - 1);
+        VmSize chunk = std::min<VmSize>(len - done, page - in_page);
+        machine.memory().read(proc.pages[truncTo(pos, page)] + in_page,
+                              out + done, chunk);
+        done += chunk;
+    }
+    return KernReturn::Success;
+}
+
+FileId
+UnixVm::createPatternFile(const std::string &name, VmSize len,
+                          std::uint32_t seed)
+{
+    FileId id = fs.create(name);
+    std::vector<std::uint8_t> block(SimFs::kBlockSize);
+    std::uint32_t x = seed ? seed : 1;
+    VmOffset off = 0;
+    while (off < len) {
+        VmSize chunk = std::min<VmSize>(len - off, block.size());
+        for (VmSize i = 0; i < chunk; ++i) {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            block[i] = std::uint8_t(x);
+        }
+        fs.write(id, off, block.data(), chunk);
+        off += chunk;
+    }
+    return id;
+}
+
+VmSize
+UnixVm::read(const std::string &name, VmOffset offset, void *buf,
+             VmSize len)
+{
+    const CostModel &costs = machine.spec.costs;
+    machine.clock().charge(CostKind::Software,
+                           costs.syscall + costs.unixSyscallExtra);
+    FileId id = fs.lookup(name);
+    if (id == kNoFile)
+        return 0;
+    return bcache.read(id, offset, buf, len);
+}
+
+void
+UnixVm::write(const std::string &name, VmOffset offset, const void *buf,
+              VmSize len)
+{
+    const CostModel &costs = machine.spec.costs;
+    machine.clock().charge(CostKind::Software,
+                           costs.syscall + costs.unixSyscallExtra);
+    FileId id = fs.lookup(name);
+    if (id == kNoFile)
+        id = fs.create(name);
+    bcache.write(id, offset, buf, len);
+}
+
+} // namespace mach

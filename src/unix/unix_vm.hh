@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The 4.3bsd-style UNIX baseline VM.
+ *
+ * The paper measures Mach against vendor UNIX systems (4.3bsd, ACIS
+ * 4.2a, SunOS 3.2) whose virtual memory offers "little ... other than
+ * simple paging support" (section 1).  This module reproduces the
+ * behaviours that produce Table 7-1/7-2's gaps:
+ *
+ *  - fork copies the parent's memory eagerly, page by page;
+ *  - zero-fill faults run a heavier fault path (u-area and per
+ *    process table fixups);
+ *  - read(2) double-copies through a fixed-size buffer cache.
+ *
+ * It runs on the same simulated Machine and cost model as Mach, so
+ * the comparison varies only the VM design — the paper's point.
+ */
+
+#ifndef MACH_UNIX_UNIX_VM_HH
+#define MACH_UNIX_UNIX_VM_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.hh"
+#include "base/types.hh"
+#include "fs/buffer_cache.hh"
+#include "fs/simfs.hh"
+#include "hw/machine.hh"
+
+namespace mach
+{
+
+/** A classic UNIX process's VM state. */
+struct UnixProc
+{
+    unsigned pid = 0;
+    /** Resident pages: page-aligned va -> physical address. */
+    std::unordered_map<VmOffset, PhysAddr> pages;
+    /** Allocated regions (page-aligned, sorted not required). */
+    std::vector<std::pair<VmOffset, VmSize>> regions;
+    bool alive = true;
+};
+
+/** A miniature 4.3bsd VM + file system stack. */
+class UnixVm
+{
+  public:
+    /**
+     * @param machine simulated hardware (shared cost model/clock)
+     * @param num_buffers buffer cache size ("generic" 4.3bsd used
+     *        on the order of 100; the paper also measures 400)
+     */
+    UnixVm(Machine &machine, unsigned num_buffers);
+
+    /** @name Processes @{ */
+    UnixProc *procCreate();
+    void procDestroy(UnixProc *proc);
+
+    /** fork(): eagerly copy every resident page. */
+    UnixProc *fork(UnixProc &parent);
+
+    std::size_t procCount() const { return procs.size(); }
+    /** @} */
+
+    /** @name Memory @{ */
+    /** Allocate a zero-fill-on-demand region. */
+    KernReturn allocate(UnixProc &proc, VmOffset *addr, VmSize size);
+
+    /** Touch every page in [va, va+len): demand zero-fill. */
+    KernReturn touch(UnixProc &proc, VmOffset va, VmSize len,
+                     bool write);
+
+    /** Copy data in/out of process memory (faulting as needed). */
+    KernReturn procWrite(UnixProc &proc, VmOffset va, const void *buf,
+                         VmSize len);
+    KernReturn procRead(UnixProc &proc, VmOffset va, void *buf,
+                        VmSize len);
+    /** @} */
+
+    /** @name Files (read(2)/write(2) through the buffer cache) @{ */
+    FileId createPatternFile(const std::string &name, VmSize len,
+                             std::uint32_t seed = 1);
+    VmSize read(const std::string &name, VmOffset offset, void *buf,
+                VmSize len);
+    void write(const std::string &name, VmOffset offset,
+               const void *buf, VmSize len);
+    /** @} */
+
+    VmSize pageSize() const { return page; }
+    SimFs &getFs() { return fs; }
+    BufferCache &cache() { return bcache; }
+
+    /** @name Statistics @{ */
+    std::uint64_t faults = 0;
+    std::uint64_t forkPagesCopied = 0;
+    /** @} */
+
+  private:
+    PhysAddr allocFrame();
+    void freeFrame(PhysAddr pa);
+    bool allocated(const UnixProc &proc, VmOffset va) const;
+
+    Machine &machine;
+    VmSize page;
+    SimDisk disk;
+    SimFs fs;
+    BufferCache bcache;
+    std::vector<std::unique_ptr<UnixProc>> procs;
+    std::vector<PhysAddr> freeFrames;
+    unsigned nextPid = 1;
+};
+
+} // namespace mach
+
+#endif // MACH_UNIX_UNIX_VM_HH

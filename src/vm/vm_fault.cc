@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The machine-independent page fault handler.
+ *
+ * Everything the paper's design depends on converges here: the
+ * address map lookup (with needs-copy shadow creation), the shadow
+ * chain walk, pagein through the memory object's pager, zero fill,
+ * copy-on-write page copies, and finally pmap_enter to install the
+ * hardware mapping.  The pmap layer may have discarded any mapping at
+ * any time; this path can always rebuild it from machine-independent
+ * state alone.
+ */
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "pager/pager.hh"
+#include "vm/vm_map.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_sys.hh"
+
+namespace mach
+{
+
+KernReturn
+VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
+{
+    const CostModel &costs = machine.spec.costs;
+    machine.clock().charge(CostKind::FaultTrap, costs.faultTrap);
+    machine.clock().charge(CostKind::Software, costs.faultSoftware);
+    ++stats.faults;
+
+    VmOffset page_va = pageTrunc(va);
+
+    // NS32082 chip-bug workaround (paper section 5.1): the hardware
+    // reports read-modify-write faults as read faults.  If a "read"
+    // fault arrives for an address the pmap already maps (so a real
+    // read could not have faulted), it must have been a blocked
+    // write.
+    if (type == FaultType::Read && machine.spec.rmwFaultBug &&
+        map.getPmap() && map.getPmap()->access(va)) {
+        type = FaultType::Write;
+    }
+
+    VmMap::LookupResult lr;
+    KernReturn kr = map.lookup(page_va, type, lr);
+    if (kr != KernReturn::Success)
+        return kr;
+
+    VmObject *first_object = lr.object;
+    VmOffset first_offset = pageTrunc(lr.offset);
+
+    // Walk the shadow chain looking for the page (section 3.4):
+    // "when the system tries to find a page in a shadow object, and
+    // fails to find it, it proceeds to follow this list of objects."
+    VmObject *object = first_object;
+    VmOffset offset = first_offset;
+    VmPage *page = nullptr;
+
+    while (true) {
+        // pager_data_lock (Table 3-2): access to locked data must
+        // wait; ask the pager to unlock (pager_data_unlock) and
+        // re-check.  The pager may take several exchanges.
+        if (object->pager) {
+            unsigned spins = 0;
+            while (protIncludes(object->lockOf(offset),
+                                faultProt(type))) {
+                if (++spins > 100) {
+                    panic("pager never unlocked object data at "
+                          "offset %#llx", (unsigned long long)offset);
+                }
+                machine.clock().charge(CostKind::Ipc, costs.msgOp);
+                object->pager->dataUnlock(object, offset,
+                                          faultProt(type));
+            }
+        }
+
+        page = resident.lookup(object, offset);
+        if (page) {
+            MACH_ASSERT(!page->busy && !page->absent);
+            break;
+        }
+
+        if (object->pager &&
+            object->pager->hasData(object, offset)) {
+            // Pagein: ask the managing task (pager) for the data.
+            page = allocPage(object, offset);
+            page->busy = true;
+            ++object->pagingInProgress;
+            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+            bool provided = object->pager->dataRequest(
+                object, offset, page, faultProt(type));
+            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+            --object->pagingInProgress;
+            page->busy = false;
+            if (provided) {
+                ++stats.pageins;
+            } else {
+                // pager_data_unavailable: zero fill.
+                pmaps.zeroPage(page->physAddr);
+                ++stats.zeroFillCount;
+            }
+            break;
+        }
+
+        if (object->shadow) {
+            // Each link costs a lock + hash probe; this is the cost
+            // the collapse machinery of section 3.5 exists to bound.
+            machine.clock().charge(CostKind::Software,
+                                   costs.pageQueueOp);
+            offset += object->shadowOffset;
+            object = object->shadow;
+            continue;
+        }
+
+        // End of the chain with no data anywhere: zero fill,
+        // directly in the object the fault started in.
+        page = allocPage(first_object, first_offset);
+        pmaps.zeroPage(page->physAddr);
+        ++stats.zeroFillCount;
+        object = first_object;
+        offset = first_offset;
+        break;
+    }
+
+    VmProt enter_prot = lr.prot;
+
+    if (object != first_object) {
+        // The page was found down the chain.
+        if (type == FaultType::Write) {
+            // Copy-on-write: allocate a page in the first object and
+            // copy the data; the shadow "collects and remembers"
+            // the modified page (section 3.4).  The source page is
+            // marked busy so the allocation's potential pageout scan
+            // cannot evict it out from under the copy.
+            page->busy = true;
+            VmPage *copy = allocPage(first_object, first_offset);
+            page->busy = false;
+            pmaps.copyPage(page->physAddr, copy->physAddr);
+            // The source may still be mapped read-only elsewhere.
+            resident.activate(page);
+            page = copy;
+            page->dirty = true;
+            ++stats.cowFaults;
+            object = first_object;
+            // The write may have made an intermediate shadow
+            // garbage; try to collapse the chain (section 3.5).
+            if (collapseEnabled)
+                first_object->collapse();
+        } else {
+            // Enter backing data read-only so the first write
+            // faults and gets copied.
+            enter_prot = enter_prot & ~VmProt::Write;
+        }
+    }
+
+    if (lr.cowReadOnly && type != FaultType::Write)
+        enter_prot = enter_prot & ~VmProt::Write;
+
+    // pager_data_lock: accesses still locked (we only waited for the
+    // faulting access) must not be granted by the new mapping.
+    enter_prot = enter_prot & ~object->lockOf(offset);
+
+    if (type == FaultType::Write)
+        page->dirty = true;
+
+    if (page->queue == PageQueue::Inactive)
+        ++stats.reactivations;
+
+    Pmap *pm = map.getPmap();
+    MACH_ASSERT(pm != nullptr);
+    pm->enter(page_va, page->physAddr, enter_prot, lr.wired);
+
+    if (lr.wired) {
+        if (page->wireCount == 0)
+            resident.wire(page);
+    } else {
+        resident.activate(page);
+    }
+
+    if (out_page)
+        *out_page = page;
+    return KernReturn::Success;
+}
+
+KernReturn
+VmSys::wireRange(VmMap &map, VmOffset start, VmOffset end)
+{
+    start = pageTrunc(start);
+    end = pageRound(end);
+    KernReturn kr = map.setPageable(start, end - start, false);
+    if (kr != KernReturn::Success)
+        return kr;
+    for (VmOffset va = start; va < end; va += pageSize()) {
+        // Fault with the strongest access the entry allows so the
+        // wired mapping never needs to change.
+        VmMap::LookupResult lr;
+        kr = map.lookup(va, FaultType::Read, lr);
+        if (kr != KernReturn::Success)
+            return kr;
+        FaultType ft = protIncludes(lr.prot, VmProt::Write)
+            ? FaultType::Write : FaultType::Read;
+        kr = fault(map, va, ft);
+        if (kr != KernReturn::Success)
+            return kr;
+    }
+    return KernReturn::Success;
+}
+
+VmPage *
+VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
+                  bool overwrite)
+{
+    const CostModel &costs = machine.spec.costs;
+    offset = pageTrunc(offset);
+    VmPage *page = resident.lookup(object, offset);
+    if (!page) {
+        machine.clock().charge(CostKind::FaultTrap, costs.faultTrap);
+        machine.clock().charge(CostKind::Software, costs.faultSoftware);
+        ++stats.faults;
+        page = allocPage(object, offset);
+        bool provided = false;
+        // A whole-page overwrite never needs the old contents.
+        if (!overwrite && object->pager &&
+            object->pager->hasData(object, offset)) {
+            ++object->pagingInProgress;
+            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+            provided = object->pager->dataRequest(
+                object, offset, page,
+                for_write ? VmProt::Default : VmProt::Read);
+            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+            --object->pagingInProgress;
+            if (provided)
+                ++stats.pageins;
+        }
+        if (!provided) {
+            pmaps.zeroPage(page->physAddr);
+            ++stats.zeroFillCount;
+        }
+    }
+    if (for_write)
+        page->dirty = true;
+    resident.activate(page);
+    return page;
+}
+
+void
+VmSys::freePage(VmPage *page)
+{
+    pmaps.resetAttrs(page->physAddr);
+    resident.free(page);
+}
+
+} // namespace mach

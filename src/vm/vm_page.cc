@@ -1,0 +1,219 @@
+#include "vm/vm_page.hh"
+
+#include "base/logging.hh"
+#include "vm/vm_object.hh"
+
+namespace mach
+{
+
+ResidentPageTable::ResidentPageTable(Machine &machine,
+                                     VmSize mach_page_size)
+    : machine(machine), machPage(mach_page_size)
+{
+    MACH_ASSERT(isPowerOf2(machPage));
+    const MachineSpec &spec = machine.spec;
+    PhysAddr limit = spec.physAddrLimit ? spec.physAddrLimit
+                                        : spec.physMemBytes;
+
+    // Count usable frames first so the vector never reallocates
+    // (pages are linked into intrusive lists).
+    std::size_t usable = 0;
+    for (PhysAddr pa = 0; pa + machPage <= limit; pa += machPage) {
+        if (machine.memory().usable(pa, machPage))
+            ++usable;
+    }
+    pages.resize(usable);
+
+    std::size_t i = 0;
+    for (PhysAddr pa = 0; pa + machPage <= limit; pa += machPage) {
+        if (!machine.memory().usable(pa, machPage))
+            continue;  // e.g. the SUN 3 display-memory hole
+        VmPage &p = pages[i++];
+        p.physAddr = pa;
+        p.queue = PageQueue::Free;
+        freeQ.pushBack(&p);
+    }
+
+    // Hash table sized to roughly one bucket per page.
+    std::size_t buckets = 16;
+    while (buckets < pages.size())
+        buckets <<= 1;
+    hashTable = std::vector<HashBucket>(buckets);
+}
+
+std::size_t
+ResidentPageTable::bucketOf(const VmObject *object, VmOffset offset) const
+{
+    std::uint64_t h = reinterpret_cast<std::uintptr_t>(object);
+    h = (h >> 4) * 0x9e3779b97f4a7c15ull;
+    h ^= (offset / machPage) * 0xff51afd7ed558ccdull;
+    return h & (hashTable.size() - 1);
+}
+
+void
+ResidentPageTable::hashInsert(VmPage *page)
+{
+    hashTable[bucketOf(page->object, page->offset)].pushFront(page);
+}
+
+void
+ResidentPageTable::hashRemove(VmPage *page)
+{
+    hashTable[bucketOf(page->object, page->offset)].remove(page);
+}
+
+VmPage *
+ResidentPageTable::alloc(VmObject *object, VmOffset offset)
+{
+    VmPage *page = freeQ.popFront();
+    if (!page)
+        return nullptr;
+    machine.clock().charge(CostKind::Software,
+                           machine.spec.costs.pageQueueOp);
+    page->queue = PageQueue::None;
+    page->busy = false;
+    page->absent = false;
+    page->dirty = false;
+    page->precious = false;
+    page->wireCount = 0;
+    page->object = object;
+    page->offset = offset;
+    if (object) {
+        MACH_ASSERT(offset % machPage == 0);
+        hashInsert(page);
+        object->pages.pushBack(page);
+        ++object->residentCount;
+    }
+    return page;
+}
+
+void
+ResidentPageTable::free(VmPage *page)
+{
+    MACH_ASSERT(page->wireCount == 0);
+    if (page->onQueue())
+        removeFromQueue(page);
+    if (page->object) {
+        hashRemove(page);
+        page->object->pages.remove(page);
+        --page->object->residentCount;
+        page->object = nullptr;
+    }
+    page->queue = PageQueue::Free;
+    freeQ.pushBack(page);
+    machine.clock().charge(CostKind::Software,
+                           machine.spec.costs.pageQueueOp);
+}
+
+VmPage *
+ResidentPageTable::lookup(VmObject *object, VmOffset offset)
+{
+    MACH_ASSERT(offset % machPage == 0);
+    HashBucket &bucket = hashTable[bucketOf(object, offset)];
+    for (VmPage *p : bucket) {
+        if (p->object == object && p->offset == offset)
+            return p;
+    }
+    return nullptr;
+}
+
+void
+ResidentPageTable::rename(VmPage *page, VmObject *new_object,
+                          VmOffset new_offset)
+{
+    MACH_ASSERT(new_offset % machPage == 0);
+    if (page->object) {
+        hashRemove(page);
+        page->object->pages.remove(page);
+        --page->object->residentCount;
+    }
+    page->object = new_object;
+    page->offset = new_offset;
+    if (new_object) {
+        hashInsert(page);
+        new_object->pages.pushBack(page);
+        ++new_object->residentCount;
+    }
+    machine.clock().charge(CostKind::Software,
+                           machine.spec.costs.pageQueueOp);
+}
+
+void
+ResidentPageTable::removeFromQueue(VmPage *page)
+{
+    switch (page->queue) {
+      case PageQueue::Free:
+        freeQ.remove(page);
+        break;
+      case PageQueue::Active:
+        activeQ.remove(page);
+        break;
+      case PageQueue::Inactive:
+        inactiveQ.remove(page);
+        break;
+      case PageQueue::None:
+        break;
+    }
+    page->queue = PageQueue::None;
+}
+
+void
+ResidentPageTable::activate(VmPage *page)
+{
+    if (page->queue == PageQueue::Active)
+        return;
+    MACH_ASSERT(page->queue != PageQueue::Free);
+    if (page->onQueue())
+        removeFromQueue(page);
+    if (page->wireCount > 0)
+        return;  // wired pages live on no queue
+    page->queue = PageQueue::Active;
+    activeQ.pushBack(page);
+}
+
+void
+ResidentPageTable::deactivate(VmPage *page)
+{
+    if (page->queue == PageQueue::Inactive)
+        return;
+    MACH_ASSERT(page->queue != PageQueue::Free);
+    if (page->wireCount > 0)
+        return;
+    if (page->onQueue())
+        removeFromQueue(page);
+    page->queue = PageQueue::Inactive;
+    inactiveQ.pushBack(page);
+}
+
+void
+ResidentPageTable::wire(VmPage *page)
+{
+    if (page->wireCount++ == 0) {
+        if (page->onQueue())
+            removeFromQueue(page);
+        ++nWired;
+    }
+}
+
+void
+ResidentPageTable::unwire(VmPage *page)
+{
+    MACH_ASSERT(page->wireCount > 0);
+    if (--page->wireCount == 0) {
+        --nWired;
+        page->queue = PageQueue::Active;
+        activeQ.pushBack(page);
+    }
+}
+
+void
+ResidentPageTable::fillStatistics(VmStatistics &st) const
+{
+    st.pagesize = machPage;
+    st.freeCount = freeQ.size();
+    st.activeCount = activeQ.size();
+    st.inactiveCount = inactiveQ.size();
+    st.wireCount = nWired;
+}
+
+} // namespace mach

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The resident page table (paper section 3.1).
+ *
+ * Physical memory is treated primarily as a cache for the contents of
+ * virtual memory objects.  Information about physical pages is kept
+ * in page entries indexed by physical page number; each entry may
+ * simultaneously be linked into:
+ *
+ *  - a memory object list (to speed object deallocation and virtual
+ *    copies),
+ *  - a memory allocation queue (free / active / inactive, used by the
+ *    paging daemon), and
+ *  - an object/offset hash bucket (for fast fault-time lookup).
+ *
+ * Byte offsets are used throughout; the Mach page size is a boot-time
+ * power-of-two multiple of the hardware page size.
+ */
+
+#ifndef MACH_VM_VM_PAGE_HH
+#define MACH_VM_VM_PAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/intrusive_list.hh"
+#include "base/types.hh"
+#include "hw/machine.hh"
+
+namespace mach
+{
+
+class VmObject;
+
+/** Which allocation queue a page is on. */
+enum class PageQueue : unsigned
+{
+    None = 0,
+    Free,
+    Active,
+    Inactive,
+};
+
+/** One machine-independent physical page. */
+struct VmPage
+{
+    /** @name Identity: which object/offset this page caches @{ */
+    VmObject *object = nullptr;
+    VmOffset offset = 0;      //!< byte offset within the object
+    PhysAddr physAddr = 0;    //!< Mach-page-aligned physical address
+    /** @} */
+
+    /** @name State @{ */
+    bool busy = false;     //!< page is being filled / written
+    bool absent = false;   //!< allocated but data not yet arrived
+    bool dirty = false;    //!< modified since last pageout (software)
+    bool precious = false; //!< pager wants the data back even if clean
+    unsigned wireCount = 0;
+    PageQueue queue = PageQueue::None;
+    /** Machine tick count when the page was deactivated. */
+    std::uint64_t deactTick = 0;
+    /** @} */
+
+    /** @name Links @{ */
+    ListHook objHook;   //!< object's page list
+    ListHook queueHook; //!< allocation queue
+    ListHook hashHook;  //!< object/offset hash bucket
+    /** @} */
+
+    bool onQueue() const { return queue != PageQueue::None; }
+};
+
+/** VM subsystem statistics (vm_statistics, Table 2-1). */
+struct VmStatistics
+{
+    VmSize pagesize = 0;
+    std::uint64_t freeCount = 0;
+    std::uint64_t activeCount = 0;
+    std::uint64_t inactiveCount = 0;
+    std::uint64_t wireCount = 0;
+    std::uint64_t faults = 0;        //!< vm_fault invocations
+    std::uint64_t zeroFillCount = 0;
+    std::uint64_t cowFaults = 0;
+    std::uint64_t pageins = 0;
+    std::uint64_t pageouts = 0;
+    std::uint64_t reactivations = 0;
+    std::uint64_t lookups = 0;       //!< map entry lookups
+    std::uint64_t hits = 0;          //!< map lookup hint hits
+    std::uint64_t objectsCreated = 0;
+    std::uint64_t objectsCached = 0; //!< cache hits on named objects
+    std::uint64_t objectCollapses = 0;
+    std::uint64_t objectBypasses = 0;
+};
+
+/**
+ * The resident page table: owns every VmPage and the allocation
+ * queues and hash table that index them.
+ */
+class ResidentPageTable
+{
+  public:
+    /**
+     * @param machine supplies physical memory geometry and the clock
+     * @param mach_page_size boot-time machine-independent page size
+     */
+    ResidentPageTable(Machine &machine, VmSize mach_page_size);
+
+    VmSize pageSize() const { return machPage; }
+
+    /** @name Allocation @{ */
+    /**
+     * Take a page off the free list and enter it into @p object at
+     * @p offset.  Returns nullptr when no free page is available
+     * (the caller must push the pageout daemon and retry).
+     * @p object may be nullptr for a fictitious/private page.
+     */
+    VmPage *alloc(VmObject *object, VmOffset offset);
+
+    /** Release a page back to the free list (removes from object). */
+    void free(VmPage *page);
+    /** @} */
+
+    /** @name Object/offset hash @{ */
+    /** Find the page caching (@p object, @p offset), or nullptr. */
+    VmPage *lookup(VmObject *object, VmOffset offset);
+
+    /** Move a page to a new object/offset (virtual copy support). */
+    void rename(VmPage *page, VmObject *new_object, VmOffset new_offset);
+    /** @} */
+
+    /** @name Allocation queues @{ */
+    void activate(VmPage *page);
+    void deactivate(VmPage *page);
+    void wire(VmPage *page);
+    void unwire(VmPage *page);
+
+    VmPage *firstInactive() { return inactiveQ.front(); }
+    VmPage *firstActive() { return activeQ.front(); }
+    VmPage *nextInactive(VmPage *p) { return inactiveQ.next(p); }
+    /** @} */
+
+    /** @name Counters @{ */
+    std::size_t totalPages() const { return pages.size(); }
+    std::size_t freeCount() const { return freeQ.size(); }
+    std::size_t activeCount() const { return activeQ.size(); }
+    std::size_t inactiveCount() const { return inactiveQ.size(); }
+    std::size_t wiredCount() const { return nWired; }
+    /** @} */
+
+    /** Fill the page-level fields of @p st. */
+    void fillStatistics(VmStatistics &st) const;
+
+  private:
+    void removeFromQueue(VmPage *page);
+    void hashInsert(VmPage *page);
+    void hashRemove(VmPage *page);
+    std::size_t bucketOf(const VmObject *object, VmOffset offset) const;
+
+    Machine &machine;
+    VmSize machPage;
+    std::vector<VmPage> pages;
+
+    using PageQueueList = IntrusiveList<VmPage, &VmPage::queueHook>;
+    using HashBucket = IntrusiveList<VmPage, &VmPage::hashHook>;
+
+    PageQueueList freeQ;
+    PageQueueList activeQ;
+    PageQueueList inactiveQ;
+    std::vector<HashBucket> hashTable;
+    std::size_t nWired = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_VM_VM_PAGE_HH

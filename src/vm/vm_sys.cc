@@ -1,0 +1,115 @@
+#include "vm/vm_sys.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "vm/vm_object.hh"
+
+namespace mach
+{
+
+VmSys::VmSys(Machine &machine, PmapSystem &pmaps, VmSize mach_page_size)
+    : machine(machine), pmaps(pmaps),
+      resident(machine, mach_page_size)
+{
+    MACH_ASSERT(pmaps.machPageSize() == mach_page_size);
+    // Keep ~2% of memory free, start reclaiming at 1%.
+    freeMin = std::max<std::size_t>(4, resident.totalPages() / 100);
+    freeTarget = std::max<std::size_t>(8, resident.totalPages() / 50);
+}
+
+VmSys::~VmSys() = default;
+
+VmPage *
+VmSys::allocPage(VmObject *object, VmOffset offset)
+{
+    if (resident.freeCount() <= freeMin)
+        pageoutScan();
+    VmPage *page = resident.alloc(object, offset);
+    if (!page) {
+        pageoutScan();
+        page = resident.alloc(object, offset);
+    }
+    if (!page)
+        panic("out of physical memory: nothing left to reclaim");
+    return page;
+}
+
+void
+VmSys::cacheObject(VmObject *object)
+{
+    MACH_ASSERT(object->refCount == 0 && !object->cached);
+    object->cached = true;
+    cacheList.push_back(object);
+}
+
+VmObject *
+VmSys::objectForPager(Pager *pager)
+{
+    auto it = pagerIndex.find(pager);
+    return it == pagerIndex.end() ? nullptr : it->second;
+}
+
+void
+VmSys::uncacheObject(VmObject *object)
+{
+    MACH_ASSERT(object->cached);
+    auto it = std::find(cacheList.begin(), cacheList.end(), object);
+    MACH_ASSERT(it != cacheList.end());
+    cacheList.erase(it);
+    object->cached = false;
+}
+
+std::size_t
+VmSys::cachedPageCount() const
+{
+    std::size_t n = 0;
+    for (const VmObject *o : cacheList)
+        n += o->residentCount;
+    return n;
+}
+
+void
+VmSys::trimCache()
+{
+    auto overLimit = [this]() {
+        if (objectCacheLimit && cacheList.size() > objectCacheLimit)
+            return true;
+        if (cachedPageLimit && cachedPageCount() > cachedPageLimit)
+            return true;
+        return false;
+    };
+    while (!cacheList.empty() && overLimit()) {
+        VmObject *victim = cacheList.front();
+        cacheList.pop_front();
+        victim->cached = false;
+        victim->terminate();
+    }
+}
+
+void
+VmSys::flushCache()
+{
+    while (!cacheList.empty()) {
+        VmObject *victim = cacheList.front();
+        cacheList.pop_front();
+        victim->cached = false;
+        victim->terminate();
+    }
+}
+
+VmStatistics
+VmSys::statistics() const
+{
+    VmStatistics st = stats;
+    resident.fillStatistics(st);
+    return st;
+}
+
+void
+VmSys::chargeSoftware(SimTime ns)
+{
+    machine.clock().charge(CostKind::Software, ns);
+}
+
+} // namespace mach

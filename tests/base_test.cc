@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for base utilities: types, intrusive lists, status.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/intrusive_list.hh"
+#include "base/status.hh"
+#include "base/types.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(Types, ProtBitOperations)
+{
+    VmProt rw = VmProt::Read | VmProt::Write;
+    EXPECT_TRUE(protIncludes(rw, VmProt::Read));
+    EXPECT_TRUE(protIncludes(rw, VmProt::Write));
+    EXPECT_FALSE(protIncludes(rw, VmProt::Execute));
+    EXPECT_TRUE(protIncludes(VmProt::All, rw));
+    EXPECT_FALSE(protIncludes(VmProt::Read, rw));
+    EXPECT_TRUE(protEmpty(VmProt::None));
+    EXPECT_FALSE(protEmpty(rw));
+}
+
+TEST(Types, ProtComplement)
+{
+    VmProt no_write = ~VmProt::Write;
+    EXPECT_TRUE(protIncludes(no_write, VmProt::Read));
+    EXPECT_TRUE(protIncludes(no_write, VmProt::Execute));
+    EXPECT_FALSE(protIncludes(no_write, VmProt::Write));
+
+    VmProt rw = VmProt::Default;
+    rw &= ~VmProt::Write;
+    EXPECT_EQ(rw, VmProt::Read);
+}
+
+TEST(Types, FaultProtMapping)
+{
+    EXPECT_EQ(faultProt(FaultType::Read), VmProt::Read);
+    EXPECT_EQ(faultProt(FaultType::Write), VmProt::Write);
+    EXPECT_EQ(faultProt(FaultType::Execute), VmProt::Execute);
+}
+
+TEST(Types, Rounding)
+{
+    EXPECT_EQ(truncTo(4097, 4096), 4096u);
+    EXPECT_EQ(truncTo(4096, 4096), 4096u);
+    EXPECT_EQ(roundTo(4097, 4096), 8192u);
+    EXPECT_EQ(roundTo(4096, 4096), 4096u);
+    EXPECT_EQ(roundTo(0, 4096), 0u);
+}
+
+TEST(Types, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(512));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(513));
+}
+
+TEST(Status, Names)
+{
+    EXPECT_STREQ(kernReturnName(KernReturn::Success), "KERN_SUCCESS");
+    EXPECT_STREQ(kernReturnName(KernReturn::NoSpace), "KERN_NO_SPACE");
+    EXPECT_STREQ(kernReturnName(KernReturn::ProtectionFailure),
+                 "KERN_PROTECTION_FAILURE");
+}
+
+struct Node
+{
+    int value = 0;
+    ListHook hookA;
+    ListHook hookB;
+};
+
+TEST(IntrusiveList, PushPopOrder)
+{
+    IntrusiveList<Node, &Node::hookA> list;
+    Node n1{1, {}, {}}, n2{2, {}, {}}, n3{3, {}, {}};
+    EXPECT_TRUE(list.empty());
+    list.pushBack(&n1);
+    list.pushBack(&n2);
+    list.pushFront(&n3);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.front()->value, 3);
+    EXPECT_EQ(list.back()->value, 2);
+    EXPECT_EQ(list.popFront()->value, 3);
+    EXPECT_EQ(list.popFront()->value, 1);
+    EXPECT_EQ(list.popFront()->value, 2);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.popFront(), nullptr);
+}
+
+TEST(IntrusiveList, RemoveMiddle)
+{
+    IntrusiveList<Node, &Node::hookA> list;
+    Node n1{1, {}, {}}, n2{2, {}, {}}, n3{3, {}, {}};
+    list.pushBack(&n1);
+    list.pushBack(&n2);
+    list.pushBack(&n3);
+    list.remove(&n2);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.front()->value, 1);
+    EXPECT_EQ(list.next(list.front())->value, 3);
+    EXPECT_FALSE(n2.hookA.linked());
+}
+
+TEST(IntrusiveList, MultipleListMembership)
+{
+    // A page is on an object list, a queue, and a hash bucket at
+    // once (paper section 3.1) — two hooks, two lists, one node.
+    IntrusiveList<Node, &Node::hookA> object_list;
+    IntrusiveList<Node, &Node::hookB> queue;
+    Node n{42, {}, {}};
+    object_list.pushBack(&n);
+    queue.pushBack(&n);
+    EXPECT_EQ(object_list.front(), &n);
+    EXPECT_EQ(queue.front(), &n);
+    queue.remove(&n);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(object_list.front(), &n);
+}
+
+TEST(IntrusiveList, Iteration)
+{
+    IntrusiveList<Node, &Node::hookA> list;
+    Node nodes[5];
+    for (int i = 0; i < 5; ++i) {
+        nodes[i].value = i;
+        list.pushBack(&nodes[i]);
+    }
+    int expected = 0;
+    for (Node *n : list)
+        EXPECT_EQ(n->value, expected++);
+    EXPECT_EQ(expected, 5);
+
+    int sum = 0;
+    list.forEach([&](Node *n) { sum += n->value; });
+    EXPECT_EQ(sum, 10);
+}
+
+TEST(IntrusiveList, ForEachAllowsRemoval)
+{
+    IntrusiveList<Node, &Node::hookA> list;
+    Node nodes[4];
+    for (int i = 0; i < 4; ++i) {
+        nodes[i].value = i;
+        list.pushBack(&nodes[i]);
+    }
+    list.forEach([&](Node *n) {
+        if (n->value % 2 == 0)
+            list.remove(n);
+    });
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.front()->value, 1);
+    EXPECT_EQ(list.back()->value, 3);
+}
+
+} // namespace
+} // namespace mach

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Cross-module integration tests: whole-system scenarios on every
+ * architecture, including the paper's architecture-specific
+ * behaviours observed through the full stack (RT PC sharing faults,
+ * SUN 3 memory hole, NS32082 RMW-bug workaround on the COW path,
+ * boot-time page-size multiples).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "pmap/rt_pmap.hh"
+#include "test_util.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(Integration, BootWithPageSizeMultiples)
+{
+    // "The definition of page size is a boot time system parameter
+    // and can be any power of two multiple of the hardware page
+    // size" (section 2.1).  VAX: 512B, 1K, 2K, 4K...
+    for (unsigned mult : {1u, 2u, 4u, 8u}) {
+        KernelConfig cfg;
+        cfg.machPageMultiple = mult;
+        Kernel kernel(test::tinySpec(ArchType::Vax, 4), cfg);
+        EXPECT_EQ(kernel.pageSize(), 512u * mult);
+
+        Task *task = kernel.taskCreate();
+        VmOffset addr = 0;
+        ASSERT_EQ(task->map().allocate(&addr, 4 * kernel.pageSize(),
+                                       true),
+                  KernReturn::Success);
+        auto data = test::pattern(4 * kernel.pageSize(), mult);
+        ASSERT_EQ(kernel.taskWrite(*task, addr, data.data(),
+                                   data.size()),
+                  KernReturn::Success);
+        std::vector<std::uint8_t> out(data.size());
+        ASSERT_EQ(kernel.taskRead(*task, addr, out.data(),
+                                  out.size()),
+                  KernReturn::Success);
+        EXPECT_EQ(out, data);
+    }
+}
+
+TEST(Integration, LargerMachPageMeansFewerFaults)
+{
+    // Ablation E precondition: doubling the Mach page halves the
+    // number of faults for a sequential touch.
+    std::uint64_t faults1 = 0, faults4 = 0;
+    for (unsigned mult : {1u, 4u}) {
+        KernelConfig cfg;
+        cfg.machPageMultiple = mult;
+        Kernel kernel(test::tinySpec(ArchType::Vax, 4), cfg);
+        Task *task = kernel.taskCreate();
+        VmOffset addr = 0;
+        VmSize size = 64 * 512;
+        ASSERT_EQ(task->map().allocate(&addr, size, true),
+                  KernReturn::Success);
+        ASSERT_EQ(kernel.taskTouch(*task, addr, size,
+                                   AccessType::Write),
+                  KernReturn::Success);
+        (mult == 1 ? faults1 : faults4) = kernel.vm->stats.faults;
+    }
+    EXPECT_EQ(faults1, 4 * faults4);
+}
+
+TEST(Integration, RtSharingCausesExtraFaultsButWorks)
+{
+    // Section 5.1: "physical pages shared by multiple tasks can
+    // cause extra page faults, with each page being mapped and then
+    // remapped for the last task which referenced it."
+    Kernel kernel(test::tinySpec(ArchType::RtPc, 8));
+    VmSize page = kernel.pageSize();
+
+    Task *a = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(a->map().allocate(&addr, page, true),
+              KernReturn::Success);
+    ASSERT_EQ(vmInherit(*kernel.vm, a->map(), addr, page,
+                        VmInherit::Share),
+              KernReturn::Success);
+    std::uint32_t magic = 0xc0ffee;
+    ASSERT_EQ(kernel.taskWrite(*a, addr, &magic, sizeof(magic)),
+              KernReturn::Success);
+
+    Task *b = kernel.taskFork(*a);
+
+    auto *rsys = static_cast<RtPmapSystem *>(kernel.pmaps.get());
+    std::uint64_t evictions0 = rsys->aliasEvictions;
+    std::uint64_t faults0 = kernel.vm->stats.faults;
+
+    // Ping-pong access to the shared page.
+    std::uint32_t seen = 0;
+    for (int round = 0; round < 8; ++round) {
+        ASSERT_EQ(kernel.taskRead(*a, addr, &seen, sizeof(seen)),
+                  KernReturn::Success);
+        EXPECT_EQ(seen, magic);
+        ASSERT_EQ(kernel.taskRead(*b, addr, &seen, sizeof(seen)),
+                  KernReturn::Success);
+        EXPECT_EQ(seen, magic);
+    }
+    // Each switch re-faults (one mapping per frame)...
+    EXPECT_GE(rsys->aliasEvictions - evictions0, 14u);
+    EXPECT_GE(kernel.vm->stats.faults - faults0, 14u);
+
+    // ...but a uniprocessor VAX does the same loop with no faults
+    // at all after the first pair.
+    Kernel vaxk(test::tinySpec(ArchType::Vax, 8));
+    Task *va = vaxk.taskCreate();
+    VmOffset vaddr = 0;
+    ASSERT_EQ(va->map().allocate(&vaddr, vaxk.pageSize(), true),
+              KernReturn::Success);
+    ASSERT_EQ(vmInherit(*vaxk.vm, va->map(), vaddr, vaxk.pageSize(),
+                        VmInherit::Share),
+              KernReturn::Success);
+    ASSERT_EQ(vaxk.taskWrite(*va, vaddr, &magic, sizeof(magic)),
+              KernReturn::Success);
+    Task *vb = vaxk.taskFork(*va);
+    // Prime both mappings.
+    ASSERT_EQ(vaxk.taskRead(*va, vaddr, &seen, sizeof(seen)),
+              KernReturn::Success);
+    ASSERT_EQ(vaxk.taskRead(*vb, vaddr, &seen, sizeof(seen)),
+              KernReturn::Success);
+    faults0 = vaxk.vm->stats.faults;
+    for (int round = 0; round < 8; ++round) {
+        ASSERT_EQ(vaxk.taskRead(*va, vaddr, &seen, sizeof(seen)),
+                  KernReturn::Success);
+        ASSERT_EQ(vaxk.taskRead(*vb, vaddr, &seen, sizeof(seen)),
+                  KernReturn::Success);
+    }
+    EXPECT_EQ(vaxk.vm->stats.faults, faults0);
+}
+
+TEST(Integration, Sun3HoleIsNeverAllocated)
+{
+    MachineSpec spec = MachineSpec::sun3_160();
+    spec.physMemBytes = 16ull << 20;
+    Kernel kernel(spec);
+    VmSize page = kernel.pageSize();
+
+    // Resident page table skipped the hole.
+    std::size_t expected =
+        (16ull << 20) / page - (2ull << 20) / page;
+    EXPECT_EQ(kernel.vm->resident.totalPages(), expected);
+
+    // Allocate and touch a lot of memory; no page may sit in the
+    // hole.
+    Task *task = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, 4ull << 20, true),
+              KernReturn::Success);
+    ASSERT_EQ(kernel.taskTouch(*task, addr, 4ull << 20,
+                               AccessType::Write),
+              KernReturn::Success);
+    for (VmOffset va = addr; va < addr + (4ull << 20); va += page) {
+        auto pa = task->getPmap()->extract(va);
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_TRUE(*pa < (12ull << 20) || *pa >= (14ull << 20));
+    }
+}
+
+TEST(Integration, Ns32082RmwBugWorkaroundOnCowPath)
+{
+    // A read-modify-write instruction against a COW page: the chip
+    // reports a *read* fault, which naively resolves to a read-only
+    // mapping and an infinite fault loop.  The fault handler's
+    // workaround must detect the lie and perform the copy.
+    Kernel kernel(test::tinySpec(ArchType::Ns32082, 8));
+    VmSize page = kernel.pageSize();
+    Task *parent = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(parent->map().allocate(&addr, page, true),
+              KernReturn::Success);
+    std::uint32_t value = 41;
+    ASSERT_EQ(kernel.taskWrite(*parent, addr, &value, sizeof(value)),
+              KernReturn::Success);
+
+    Task *child = kernel.taskFork(*parent);
+    std::uint64_t cow0 = kernel.vm->stats.cowFaults;
+
+    // Simulated "incl addr" in the child.
+    kernel.switchTo(child, 0);
+    ASSERT_EQ(kernel.machine.touch(0, addr, 1, AccessType::Rmw),
+              KernReturn::Success);
+    EXPECT_GT(kernel.vm->stats.cowFaults, cow0);
+
+    // The child got a private copy: parent unchanged by a write.
+    std::uint32_t seen = 0;
+    std::uint32_t new_value = 42;
+    ASSERT_EQ(kernel.taskWrite(*child, addr, &new_value,
+                               sizeof(new_value)),
+              KernReturn::Success);
+    ASSERT_EQ(kernel.taskRead(*parent, addr, &seen, sizeof(seen)),
+              KernReturn::Success);
+    EXPECT_EQ(seen, 41u);
+}
+
+class WholeSystemTest : public ::testing::TestWithParam<ArchType>
+{
+};
+
+TEST_P(WholeSystemTest, ForkFilePageoutStressWithIntegrity)
+{
+    // A little of everything at once, under memory pressure: two
+    // generations of forks, a mapped file, anonymous memory cycled
+    // through swap — and every byte accounted for at the end.
+    MachineSpec spec = test::tinySpec(GetParam(), 1);
+    Kernel kernel(spec);
+    VmSize page = kernel.pageSize();
+    VmSize anon_size = 48 * page;
+
+    Task *parent = kernel.taskCreate();
+    VmOffset anon = 0;
+    ASSERT_EQ(parent->map().allocate(&anon, anon_size, true),
+              KernReturn::Success);
+    auto anon_data = test::pattern(anon_size, 60);
+    ASSERT_EQ(kernel.taskWrite(*parent, anon, anon_data.data(),
+                               anon_size),
+              KernReturn::Success);
+
+    auto file_data = test::pattern(16 * page, 61);
+    kernel.createFile("stress", file_data.data(), file_data.size());
+    VmOffset faddr = 0;
+    VmSize fsize = 0;
+    ASSERT_EQ(kernel.mapFile(*parent, "stress", &faddr, &fsize),
+              KernReturn::Success);
+
+    Task *child = kernel.taskFork(*parent);
+    Task *grandchild = kernel.taskFork(*child);
+
+    // Children modify disjoint halves of the anonymous region.
+    auto child_patch = test::pattern(8 * page, 62);
+    ASSERT_EQ(kernel.taskWrite(*child, anon, child_patch.data(),
+                               child_patch.size()),
+              KernReturn::Success);
+    auto gc_patch = test::pattern(8 * page, 63);
+    ASSERT_EQ(kernel.taskWrite(*grandchild, anon + 16 * page,
+                               gc_patch.data(), gc_patch.size()),
+              KernReturn::Success);
+
+    // Memory pressure: a big streaming write in the parent.
+    VmOffset stream = 0;
+    VmSize stream_size = 128 * page;
+    ASSERT_EQ(parent->map().allocate(&stream, stream_size, true),
+              KernReturn::Success);
+    auto stream_data = test::pattern(stream_size, 64);
+    ASSERT_EQ(kernel.taskWrite(*parent, stream, stream_data.data(),
+                               stream_size),
+              KernReturn::Success);
+
+    // Verify everything.
+    std::vector<std::uint8_t> out(anon_size);
+    ASSERT_EQ(kernel.taskRead(*parent, anon, out.data(), anon_size),
+              KernReturn::Success);
+    EXPECT_EQ(out, anon_data) << "parent anon corrupted";
+
+    ASSERT_EQ(kernel.taskRead(*child, anon, out.data(), anon_size),
+              KernReturn::Success);
+    EXPECT_TRUE(std::equal(child_patch.begin(), child_patch.end(),
+                           out.begin()));
+    EXPECT_TRUE(std::equal(anon_data.begin() + child_patch.size(),
+                           anon_data.end(),
+                           out.begin() + child_patch.size()));
+
+    ASSERT_EQ(kernel.taskRead(*grandchild, anon, out.data(),
+                              anon_size),
+              KernReturn::Success);
+    EXPECT_TRUE(std::equal(out.begin(), out.begin() + 8 * page,
+                           anon_data.begin()))
+        << "the child wrote after the grandchild forked: the "
+           "grandchild keeps the original data";
+    EXPECT_TRUE(std::equal(gc_patch.begin(), gc_patch.end(),
+                           out.begin() + 16 * page));
+
+    std::vector<std::uint8_t> fout(file_data.size());
+    ASSERT_EQ(kernel.taskRead(*parent, faddr, fout.data(),
+                              fout.size()),
+              KernReturn::Success);
+    EXPECT_EQ(fout, file_data) << "mapped file corrupted";
+
+    ASSERT_EQ(kernel.taskRead(*parent, stream, out.data(), anon_size),
+              KernReturn::Success);
+    EXPECT_TRUE(std::equal(out.begin(), out.begin() + anon_size,
+                           stream_data.begin()));
+
+    // Teardown releases every page and object.
+    std::uint64_t live0 = kernel.vm->liveObjects;
+    kernel.taskTerminate(grandchild);
+    kernel.taskTerminate(child);
+    kernel.taskTerminate(parent);
+    EXPECT_LT(kernel.vm->liveObjects, live0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, WholeSystemTest,
+    ::testing::ValuesIn(test::allArchs()),
+    [](const ::testing::TestParamInfo<ArchType> &info) {
+        return test::archLabel(info.param);
+    });
+
+} // namespace
+} // namespace mach

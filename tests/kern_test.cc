@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Kernel-surface tests: task/thread lifecycle, CPU binding, the
+ * periodic timer, file services (mapFile/fileRead/fileWrite edge
+ * cases), kernel wired memory, vm_wire, and task ports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+class KernTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        kernel = std::make_unique<Kernel>(
+            test::tinySpec(ArchType::Vax, 4));
+        page = kernel->pageSize();
+    }
+
+    std::unique_ptr<Kernel> kernel;
+    VmSize page = 0;
+};
+
+TEST_F(KernTest, TaskLifecycle)
+{
+    EXPECT_EQ(kernel->taskCount(), 0u);
+    Task *a = kernel->taskCreate();
+    Task *b = kernel->taskCreate();
+    EXPECT_EQ(kernel->taskCount(), 2u);
+    EXPECT_NE(a->id(), b->id());
+    EXPECT_FALSE(a->suspended());
+    a->suspend();
+    a->suspend();
+    a->resume();
+    EXPECT_TRUE(a->suspended());
+    a->resume();
+    EXPECT_FALSE(a->suspended());
+    kernel->taskTerminate(a);
+    EXPECT_EQ(kernel->taskCount(), 1u);
+    kernel->taskTerminate(b);
+    EXPECT_EQ(kernel->taskCount(), 0u);
+}
+
+TEST_F(KernTest, ThreadsBelongToTasks)
+{
+    Task *t = kernel->taskCreate();
+    Thread *th1 = kernel->threadCreate(*t);
+    Thread *th2 = kernel->threadCreate(*t);
+    EXPECT_EQ(t->threads.size(), 2u);
+    EXPECT_NE(th1->threadId, th2->threadId);
+    EXPECT_EQ(&th1->task, t);
+    th1->suspend();
+    EXPECT_TRUE(th1->suspended());
+    EXPECT_FALSE(th2->suspended());
+    th1->resume();
+    EXPECT_FALSE(th1->suspended());
+}
+
+TEST_F(KernTest, SwitchToActivatesPmap)
+{
+    Task *a = kernel->taskCreate();
+    Task *b = kernel->taskCreate();
+    kernel->switchTo(a, 0);
+    EXPECT_EQ(kernel->currentTask(0), a);
+    EXPECT_TRUE(a->getPmap()->cpusUsing().test(0));
+    EXPECT_FALSE(b->getPmap()->cpusUsing().test(0));
+
+    kernel->switchTo(b, 0);
+    EXPECT_EQ(kernel->currentTask(0), b);
+    EXPECT_FALSE(a->getPmap()->cpusUsing().test(0));
+    EXPECT_TRUE(b->getPmap()->cpusUsing().test(0));
+
+    kernel->switchTo(nullptr, 0);
+    EXPECT_EQ(kernel->currentTask(0), nullptr);
+    EXPECT_EQ(kernel->machine.boundSpace(0), nullptr);
+}
+
+TEST_F(KernTest, PeriodicTimerDrainsDeferredWork)
+{
+    Task *t = kernel->taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(t->map().allocate(&addr, page, true),
+              KernReturn::Success);
+    kernel->timerInterval = 4;
+
+    int fired = 0;
+    kernel->machine.deferUntilTick([&] { ++fired; });
+    std::uint64_t ticks0 = kernel->machine.tickCount();
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_EQ(kernel->taskTouch(*t, addr, 1, AccessType::Read),
+                  KernReturn::Success);
+    }
+    EXPECT_GT(kernel->machine.tickCount(), ticks0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(KernTest, KernelAllocateGivesWiredMemory)
+{
+    VmOffset addr = 0;
+    ASSERT_EQ(kernel->kernelAllocate(&addr, 4 * page),
+              KernReturn::Success);
+    EXPECT_GE(kernel->vm->resident.wiredCount(), 4u);
+    // Kernel mappings are present without further faulting.
+    for (VmOffset va = addr; va < addr + 4 * page; va += page)
+        EXPECT_TRUE(kernel->pmaps->kernelPmap()->access(va));
+}
+
+TEST_F(KernTest, VmWirePinsUserMemory)
+{
+    Task *t = kernel->taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(t->map().allocate(&addr, 4 * page, true),
+              KernReturn::Success);
+    std::size_t wired0 = kernel->vm->resident.wiredCount();
+    ASSERT_EQ(vmWire(*kernel->vm, t->map(), addr, 4 * page, true),
+              KernReturn::Success);
+    EXPECT_EQ(kernel->vm->resident.wiredCount(), wired0 + 4);
+
+    // A full pageout scan cannot reclaim them.
+    std::size_t save = kernel->vm->freeTarget;
+    kernel->vm->freeTarget = kernel->vm->resident.totalPages();
+    kernel->vm->pageoutScan();
+    kernel->machine.timerTick();
+    kernel->vm->pageoutScan();
+    kernel->vm->freeTarget = save;
+    EXPECT_EQ(kernel->vm->resident.wiredCount(), wired0 + 4);
+
+    ASSERT_EQ(vmWire(*kernel->vm, t->map(), addr, 4 * page, false),
+              KernReturn::Success);
+    EXPECT_EQ(kernel->vm->resident.wiredCount(), wired0);
+}
+
+TEST_F(KernTest, FileReadEdgeCases)
+{
+    auto data = test::pattern(3000, 81);
+    kernel->createFile("f", data.data(), data.size());
+    std::vector<std::uint8_t> buf(8192, 0xaa);
+    VmSize got = 0;
+
+    // Read past EOF is short.
+    ASSERT_EQ(kernel->fileRead("f", 2000, buf.data(), 8192, &got),
+              KernReturn::Success);
+    EXPECT_EQ(got, 1000u);
+    EXPECT_TRUE(std::equal(buf.begin(), buf.begin() + 1000,
+                           data.begin() + 2000));
+
+    // Read at EOF returns zero bytes.
+    ASSERT_EQ(kernel->fileRead("f", 3000, buf.data(), 10, &got),
+              KernReturn::Success);
+    EXPECT_EQ(got, 0u);
+
+    // Missing file is an error.
+    EXPECT_EQ(kernel->fileRead("nope", 0, buf.data(), 10, &got),
+              KernReturn::InvalidArgument);
+}
+
+TEST_F(KernTest, FileWriteExtendsAndPersists)
+{
+    kernel->createFile("w", nullptr, 0);
+    auto data = test::pattern(5000, 82);
+    ASSERT_EQ(kernel->fileWrite("w", 1000, data.data(), data.size()),
+              KernReturn::Success);
+    EXPECT_EQ(kernel->fs.size(kernel->fs.lookup("w")), 6000u);
+
+    std::vector<std::uint8_t> buf(5000);
+    VmSize got = 0;
+    ASSERT_EQ(kernel->fileRead("w", 1000, buf.data(), 5000, &got),
+              KernReturn::Success);
+    EXPECT_EQ(got, 5000u);
+    EXPECT_EQ(buf, data);
+
+    // The gap before the write reads as zeros.
+    ASSERT_EQ(kernel->fileRead("w", 0, buf.data(), 1000, &got),
+              KernReturn::Success);
+    for (VmSize i = 0; i < 1000; ++i)
+        EXPECT_EQ(buf[i], 0) << i;
+
+    // Writing to a nonexistent file creates it.
+    ASSERT_EQ(kernel->fileWrite("fresh", 0, data.data(), 100),
+              KernReturn::Success);
+    EXPECT_NE(kernel->fs.lookup("fresh"), kNoFile);
+}
+
+TEST_F(KernTest, MapFileMissingFails)
+{
+    Task *t = kernel->taskCreate();
+    VmOffset addr = 0;
+    VmSize size = 0;
+    EXPECT_EQ(kernel->mapFile(*t, "missing", &addr, &size),
+              KernReturn::InvalidArgument);
+}
+
+TEST_F(KernTest, PatternFilesAreDeterministic)
+{
+    kernel->createPatternFile("p1", 10000, 9);
+    kernel->createPatternFile("p2", 10000, 9);
+    std::vector<std::uint8_t> a(10000), b(10000);
+    VmSize got = 0;
+    ASSERT_EQ(kernel->fileRead("p1", 0, a.data(), a.size(), &got),
+              KernReturn::Success);
+    ASSERT_EQ(kernel->fileRead("p2", 0, b.data(), b.size(), &got),
+              KernReturn::Success);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, test::pattern(10000, 9));
+}
+
+TEST_F(KernTest, TaskPortsCarryMessages)
+{
+    Task *t = kernel->taskCreate();
+    Message msg(MsgId::UserBase);
+    msg.words = {42};
+    kernel->sendMessage(t->taskPort, std::move(msg));
+    auto got = t->taskPort.receive();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->word(0), 42u);
+}
+
+TEST_F(KernTest, PagerForFileIsASingleton)
+{
+    kernel->createFile("s", "x", 1);
+    VnodePager *p1 = kernel->pagerForFile("s");
+    VnodePager *p2 = kernel->pagerForFile("s");
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(kernel->pagerForFile("missing"), nullptr);
+}
+
+TEST_F(KernTest, TerminatingCurrentTaskUnbindsCpu)
+{
+    Task *t = kernel->taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(t->map().allocate(&addr, page, true),
+              KernReturn::Success);
+    ASSERT_EQ(kernel->taskTouch(*t, addr, 1, AccessType::Write),
+              KernReturn::Success);
+    EXPECT_EQ(kernel->currentTask(0), t);
+    kernel->taskTerminate(t);
+    EXPECT_EQ(kernel->currentTask(0), nullptr);
+    EXPECT_EQ(kernel->machine.boundSpace(0), nullptr);
+}
+
+} // namespace
+} // namespace mach

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Pageout daemon tests: queue balancing, second chance, pageout to
+ * the default pager, pagein back with data intact, and the paper's
+ * case-2 TLB sequence (remove mappings, wait a tick, then write).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+/** A kernel with very little memory, to force paging. */
+std::unique_ptr<Kernel>
+tinyMemoryKernel(ArchType arch, std::uint64_t phys_kb)
+{
+    MachineSpec spec = test::tinySpec(arch, 1);
+    spec.physMemBytes = phys_kb << 10;
+    return std::make_unique<Kernel>(spec);
+}
+
+TEST(Pageout, DirtyAnonymousPagesGoToSwapAndComeBack)
+{
+    auto kernel = tinyMemoryKernel(ArchType::Vax, 64);  // 128 pages
+    VmSize page = kernel->pageSize();
+    Task *task = kernel->taskCreate();
+
+    // Write twice as much data as physical memory.
+    VmSize total = 128 * 1024;
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, total, true),
+              KernReturn::Success);
+    auto data = test::pattern(total, 3);
+    ASSERT_EQ(kernel->taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+
+    EXPECT_GT(kernel->vm->stats.pageouts, 0u);
+    EXPECT_GT(kernel->defaultPager.pagesOnSwap(), 0u);
+
+    // Read everything back: swapped pages fault in with the right
+    // contents.
+    std::vector<std::uint8_t> out(total);
+    ASSERT_EQ(kernel->taskRead(*task, addr, out.data(), out.size()),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+    EXPECT_GT(kernel->vm->stats.pageins, 0u);
+
+    (void)page;
+}
+
+TEST(Pageout, CleanPagesAreNotWritten)
+{
+    auto kernel = tinyMemoryKernel(ArchType::Vax, 64);
+    Task *task = kernel->taskCreate();
+
+    // Fill memory with zero-fill pages that are only read after
+    // first touch... a read-only touch still dirties nothing after
+    // the initial zero-fill write?  Zero-filled pages are dirty by
+    // definition (they have no backing copy), so instead: page data
+    // out once, read it back clean, and check a second pressure
+    // round writes nothing new for the untouched pages.
+    VmSize total = 96 * 1024;
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, total, true),
+              KernReturn::Success);
+    auto data = test::pattern(total, 4);
+    ASSERT_EQ(kernel->taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+
+    // Force everything reclaimable out (two scans: the epoch rule
+    // gives freshly deactivated pages a one-scan window).
+    auto drain = [&] {
+        std::size_t save = kernel->vm->freeTarget;
+        kernel->vm->freeTarget = kernel->vm->resident.totalPages();
+        // Eviction is gated on a timer tick following deactivation.
+        for (int round = 0; round < 4; ++round) {
+            kernel->vm->pageoutScan();
+            kernel->machine.timerTick();
+        }
+        kernel->vm->pageoutScan();
+        kernel->vm->freeTarget = save;
+    };
+    drain();
+    std::uint64_t pageouts_after_first = kernel->vm->stats.pageouts;
+
+    // Read (not write) a subset back in.
+    std::vector<std::uint8_t> out(32 * 1024);
+    ASSERT_EQ(kernel->taskRead(*task, addr, out.data(), out.size()),
+              KernReturn::Success);
+
+    // Push them out again: they are clean now (swap copy is valid),
+    // so pageouts should grow by less than the pages read.
+    drain();
+    std::uint64_t new_pageouts =
+        kernel->vm->stats.pageouts - pageouts_after_first;
+    EXPECT_LT(new_pageouts, (32 * 1024) / kernel->pageSize());
+}
+
+TEST(Pageout, ReferencedPagesGetSecondChance)
+{
+    auto kernel = tinyMemoryKernel(ArchType::Vax, 64);
+    VmSize page = kernel->pageSize();
+    Task *task = kernel->taskCreate();
+
+    VmOffset hot = 0;
+    ASSERT_EQ(task->map().allocate(&hot, 4 * page, true),
+              KernReturn::Success);
+    auto data = test::pattern(4 * page, 5);
+    ASSERT_EQ(kernel->taskWrite(*task, hot, data.data(), data.size()),
+              KernReturn::Success);
+
+    // Stream through a large cold region while re-touching the hot
+    // pages; the hot pages should mostly survive in memory.
+    VmOffset cold = 0;
+    ASSERT_EQ(task->map().allocate(&cold, 200 * page, true),
+              KernReturn::Success);
+    std::vector<std::uint8_t> buf(page, 1);
+    for (unsigned i = 0; i < 200; ++i) {
+        ASSERT_EQ(kernel->taskWrite(*task, cold + i * page, buf.data(),
+                                    page),
+                  KernReturn::Success);
+        ASSERT_EQ(kernel->taskTouch(*task, hot, 4 * page,
+                                    AccessType::Read),
+                  KernReturn::Success);
+    }
+    EXPECT_GT(kernel->vm->stats.reactivations, 0u);
+}
+
+TEST(Pageout, PageoutWaitsForTimerTickBeforeWriting)
+{
+    // Section 5.2 case 2: mappings are removed and *deferred*
+    // flushes queued; pageout proceeds only after the tick.  Our
+    // instrumented count of deferred flushes must grow when the
+    // daemon runs with the Deferred policy on a multiprocessor.
+    MachineSpec spec = test::tinySpec(ArchType::Ns32082, 1, 2);
+    spec.physMemBytes = 64 << 10;
+    Kernel kernel(spec);
+    Task *task = kernel.taskCreate();
+
+    VmSize total = 128 * 1024;
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, total, true),
+              KernReturn::Success);
+    auto data = test::pattern(total, 6);
+    ASSERT_EQ(kernel.taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+
+    EXPECT_GT(kernel.vm->stats.pageouts, 0u);
+    EXPECT_GT(kernel.pmaps->deferredFlushes, 0u);
+    // Every page that was actually written out had taken a timer
+    // tick since its unmapping; whatever deferred flushes remain
+    // belong to pages still awaiting their window, and one tick
+    // drains them.
+    kernel.machine.timerTick();
+    EXPECT_EQ(kernel.machine.deferredCount(), 0u);
+}
+
+TEST(Pageout, WiredPagesAreNeverReclaimed)
+{
+    auto kernel = tinyMemoryKernel(ArchType::Vax, 64);
+    VmSize page = kernel->pageSize();
+
+    // Wire 8 pages of kernel memory.
+    VmOffset kaddr = 0;
+    ASSERT_EQ(kernel->kernelAllocate(&kaddr, 8 * page),
+              KernReturn::Success);
+    std::size_t wired = kernel->vm->resident.wiredCount();
+    EXPECT_GE(wired, 8u);
+
+    // Thrash user memory.
+    Task *task = kernel->taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, 128 * 1024, true),
+              KernReturn::Success);
+    auto data = test::pattern(128 * 1024, 7);
+    ASSERT_EQ(kernel->taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+
+    EXPECT_EQ(kernel->vm->resident.wiredCount(), wired);
+    // Kernel mappings survived (they are wired in the pmap too).
+    EXPECT_TRUE(kernel->pmaps->kernelPmap()->access(kaddr));
+}
+
+TEST(Pageout, SwapSpaceIsReleasedOnObjectDeath)
+{
+    auto kernel = tinyMemoryKernel(ArchType::Vax, 64);
+    Task *task = kernel->taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, 128 * 1024, true),
+              KernReturn::Success);
+    auto data = test::pattern(128 * 1024, 8);
+    ASSERT_EQ(kernel->taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+    EXPECT_GT(kernel->defaultPager.pagesOnSwap(), 0u);
+
+    kernel->taskTerminate(task);
+    EXPECT_EQ(kernel->defaultPager.pagesOnSwap(), 0u);
+}
+
+} // namespace
+} // namespace mach

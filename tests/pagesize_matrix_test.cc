@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Architecture x boot-time-page-size matrix (paper section 3.1): the
+ * same semantic workload must behave identically for every supported
+ * machine at every legal Mach page multiple — "the size of a Mach
+ * page ... relates to the physical page size only in that it must be
+ * a power of two multiple of the machine dependent size."
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+struct Param
+{
+    ArchType arch;
+    unsigned multiple;
+};
+
+class PageSizeMatrix : public ::testing::TestWithParam<Param>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MachineSpec spec = test::tinySpec(GetParam().arch, 4);
+        KernelConfig cfg;
+        cfg.machPageMultiple = GetParam().multiple;
+        kernel = std::make_unique<Kernel>(spec, cfg);
+        page = kernel->pageSize();
+    }
+
+    std::unique_ptr<Kernel> kernel;
+    VmSize page = 0;
+};
+
+TEST_P(PageSizeMatrix, PageSizeIsTheConfiguredMultiple)
+{
+    EXPECT_EQ(page,
+              kernel->machine.spec.hwPageSize() * GetParam().multiple);
+    VmStatistics st;
+    ASSERT_EQ(vmStatistics(*kernel->vm, &st), KernReturn::Success);
+    EXPECT_EQ(st.pagesize, page);
+}
+
+TEST_P(PageSizeMatrix, CowForkRoundTrip)
+{
+    Task *parent = kernel->taskCreate();
+    VmSize size = 8 * page;
+    VmOffset addr = 0;
+    ASSERT_EQ(parent->map().allocate(&addr, size, true),
+              KernReturn::Success);
+    auto data = test::pattern(size, 100 + GetParam().multiple);
+    ASSERT_EQ(kernel->taskWrite(*parent, addr, data.data(), size),
+              KernReturn::Success);
+
+    Task *child = kernel->taskFork(*parent);
+    std::vector<std::uint8_t> out(size);
+    ASSERT_EQ(kernel->taskRead(*child, addr, out.data(), size),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+
+    std::uint8_t z = 0x42;
+    ASSERT_EQ(kernel->taskWrite(*child, addr + page + 3, &z, 1),
+              KernReturn::Success);
+    ASSERT_EQ(kernel->taskRead(*parent, addr + page + 3, out.data(),
+                               1),
+              KernReturn::Success);
+    EXPECT_EQ(out[0], data[page + 3]);
+}
+
+TEST_P(PageSizeMatrix, MappedFileUnalignedTail)
+{
+    // A file whose size is not page aligned: the tail page must be
+    // zero padded, and the data must be exact at every offset.
+    VmSize file_size = 2 * page + page / 2 + 7;
+    auto data = test::pattern(file_size, 55);
+    kernel->createFile("tail", data.data(), data.size());
+
+    Task *task = kernel->taskCreate();
+    VmOffset addr = 0;
+    VmSize size = 0;
+    ASSERT_EQ(kernel->mapFile(*task, "tail", &addr, &size),
+              KernReturn::Success);
+    EXPECT_EQ(size, kernel->vm->pageRound(file_size));
+
+    std::vector<std::uint8_t> out(file_size);
+    ASSERT_EQ(kernel->taskRead(*task, addr, out.data(), out.size()),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+    std::uint8_t pad = 0xff;
+    ASSERT_EQ(kernel->taskRead(*task, addr + file_size, &pad, 1),
+              KernReturn::Success);
+    EXPECT_EQ(pad, 0);
+}
+
+TEST_P(PageSizeMatrix, PageoutSurvivesAtThisGeometry)
+{
+    // Overflow physical memory and verify integrity through swap.
+    MachineSpec spec = test::tinySpec(GetParam().arch, 1);
+    KernelConfig cfg;
+    cfg.machPageMultiple = GetParam().multiple;
+    Kernel small(spec, cfg);
+
+    Task *task = small.taskCreate();
+    VmSize total = small.machine.spec.physMemBytes +
+        small.machine.spec.physMemBytes / 2;
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, total, true),
+              KernReturn::Success);
+    auto data = test::pattern(total, 77);
+    ASSERT_EQ(small.taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+    EXPECT_GT(small.vm->stats.pageouts, 0u);
+
+    std::vector<std::uint8_t> out(total);
+    ASSERT_EQ(small.taskRead(*task, addr, out.data(), out.size()),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+}
+
+TEST_P(PageSizeMatrix, ResidentAccountingConsistent)
+{
+    Task *task = kernel->taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, 16 * page, true),
+              KernReturn::Success);
+    ASSERT_EQ(kernel->taskTouch(*task, addr, 16 * page,
+                                AccessType::Write),
+              KernReturn::Success);
+    VmStatistics st = kernel->vm->statistics();
+    EXPECT_EQ(st.freeCount + st.activeCount + st.inactiveCount +
+                  st.wireCount,
+              kernel->vm->resident.totalPages());
+    EXPECT_GE(st.activeCount, 16u);
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    return test::archLabel(info.param.arch) + "_x" +
+        std::to_string(info.param.multiple);
+}
+
+std::vector<Param>
+allParams()
+{
+    std::vector<Param> ps;
+    for (ArchType arch : test::allArchs()) {
+        for (unsigned mult : {1u, 2u, 4u})
+            ps.push_back({arch, mult});
+    }
+    return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(ArchByMultiple, PageSizeMatrix,
+                         ::testing::ValuesIn(allParams()), paramName);
+
+} // namespace
+} // namespace mach

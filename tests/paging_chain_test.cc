@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Shadow chains under heavy paging (paper section 3.5): "While this
+ * code is, in principle, straightforward, it is made complex by the
+ * fact that unnecessary chains sometimes occur during periods of
+ * heavy paging and cannot always be detected on the basis of in
+ * memory data structures alone."
+ *
+ * These tests push fork chains through memory pressure so shadow
+ * objects acquire default-pager backing, verify that the collapse
+ * machinery correctly *refuses* to merge swap-backed shadows, and
+ * check end-to-end integrity throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "pager/pager.hh"
+#include "test_util.hh"
+#include "vm/vm_map.hh"
+#include "vm/vm_object.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(PagingChain, CollapseSkipsSwapBackedShadow)
+{
+    MachineSpec spec = test::tinySpec(ArchType::Vax, 4);
+    Kernel kernel(spec);
+    VmSize page = kernel.pageSize();
+    VmSys &vm = *kernel.vm;
+
+    // Build object -> backing with a resident page, give the backing
+    // a (default) pager as the pageout daemon would, and page its
+    // data out.
+    VmObject *backing = VmObject::allocate(vm, 2 * page);
+    VmPage *p = vm.allocPage(backing, 0);
+    std::vector<std::uint8_t> data(page, 0x77);
+    kernel.machine.memory().write(p->physAddr, data.data(), page);
+    p->dirty = true;
+    vm.resident.activate(p);
+    vm.pageOut(p);  // backing now holds its data on swap only
+    ASSERT_EQ(backing->residentCount, 0u);
+    ASSERT_NE(backing->pager, nullptr);
+
+    VmObject *obj = backing;
+    VmOffset off = 0;
+    VmObject::makeShadow(obj, off, 2 * page);
+
+    // The backing has refCount 1 — but a pager: collapse must not
+    // merge it (its data is not in memory data structures).
+    std::uint64_t collapses0 = vm.stats.objectCollapses;
+    obj->collapse();
+    EXPECT_EQ(obj->shadowObject(), backing);
+    EXPECT_EQ(vm.stats.objectCollapses, collapses0);
+
+    // The swapped data is still reachable through the chain.
+    Pmap *pmap = kernel.pmaps->create();
+    VmMap map(vm, pmap, page, 1ull << 20);
+    VmOffset addr = 2 * page;
+    obj->reference();
+    ASSERT_EQ(map.allocateObject(&addr, 2 * page, false, obj, 0,
+                                 false, VmProt::Default, VmProt::All,
+                                 VmInherit::Copy),
+              KernReturn::Success);
+    VmPage *in = nullptr;
+    ASSERT_EQ(vm.fault(map, addr, FaultType::Read, &in),
+              KernReturn::Success);
+    std::uint8_t b = 0;
+    kernel.machine.memory().read(in->physAddr, &b, 1);
+    EXPECT_EQ(b, 0x77);
+
+    map.deallocate(page, (1ull << 20) - page);
+    obj->deallocate();
+    kernel.pmaps->destroy(pmap);
+}
+
+TEST(PagingChain, ForkChainSurvivesThrashing)
+{
+    // Fork a lineage under brutal memory pressure: every generation
+    // dirties a stripe and dies young; collapse and the pageout
+    // daemon interleave constantly.
+    MachineSpec spec = test::tinySpec(ArchType::Vax, 1);
+    spec.physMemBytes = 256 << 10;  // 512 pages
+    Kernel kernel(spec);
+    VmSize page = kernel.pageSize();
+    VmSize region = 128 * page;  // a quarter of memory per lineage
+
+    Task *task = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, region, true),
+              KernReturn::Success);
+    auto expected = test::pattern(region, 1);
+    ASSERT_EQ(kernel.taskWrite(*task, addr, expected.data(), region),
+              KernReturn::Success);
+
+    for (unsigned gen = 0; gen < 12; ++gen) {
+        Task *child = kernel.taskFork(*task);
+        // The child rewrites one stripe.
+        VmSize stripe = region / 8;
+        VmOffset at = addr + (gen % 8) * stripe;
+        auto patch = test::pattern(stripe, 100 + gen);
+        ASSERT_EQ(kernel.taskWrite(*child, at, patch.data(), stripe),
+                  KernReturn::Success);
+        std::copy(patch.begin(), patch.end(),
+                  expected.begin() + (at - addr));
+        // Exert extra pressure: a throwaway streaming task.
+        Task *noise = kernel.taskCreate();
+        VmOffset naddr = 0;
+        ASSERT_EQ(noise->map().allocate(&naddr, 64 * page, true),
+                  KernReturn::Success);
+        ASSERT_EQ(kernel.taskTouch(*noise, naddr, 64 * page,
+                                   AccessType::Write),
+                  KernReturn::Success);
+        kernel.taskTerminate(noise);
+
+        kernel.taskTerminate(task);
+        task = child;
+    }
+
+    // The surviving generation sees the accumulated edits exactly.
+    std::vector<std::uint8_t> out(region);
+    ASSERT_EQ(kernel.taskRead(*task, addr, out.data(), region),
+              KernReturn::Success);
+    EXPECT_EQ(out, expected);
+
+    // And the chain stayed bounded despite the paging interleave
+    // (swap-backed shadows can pin a link or two, not a dozen).
+    VmMap::LookupResult lr;
+    ASSERT_EQ(task->map().lookup(addr, FaultType::Read, lr),
+              KernReturn::Success);
+    EXPECT_LE(lr.object->chainLength(), 6u);
+}
+
+TEST(PagingChain, SwappedPagesFoundThroughChain)
+{
+    // A page dirtied by an ancestor, paged out, then read by a
+    // descendant two shadows up: the fault must descend the chain
+    // and page in from swap.
+    MachineSpec spec = test::tinySpec(ArchType::Vax, 1);
+    spec.physMemBytes = 128 << 10;
+    Kernel kernel(spec);
+    VmSize page = kernel.pageSize();
+    VmSize region = 64 * page;
+
+    Task *grandparent = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(grandparent->map().allocate(&addr, region, true),
+              KernReturn::Success);
+    auto data = test::pattern(region, 5);
+    ASSERT_EQ(kernel.taskWrite(*grandparent, addr, data.data(),
+                               region),
+              KernReturn::Success);
+
+    Task *parent = kernel.taskFork(*grandparent);
+    Task *child = kernel.taskFork(*parent);
+
+    // Thrash so the original pages land on swap.
+    Task *noise = kernel.taskCreate();
+    VmOffset naddr = 0;
+    ASSERT_EQ(noise->map().allocate(&naddr, 256 * page, true),
+              KernReturn::Success);
+    for (int round = 0; round < 2; ++round) {
+        ASSERT_EQ(kernel.taskTouch(*noise, naddr, 256 * page,
+                                   AccessType::Write),
+                  KernReturn::Success);
+    }
+    EXPECT_GT(kernel.vm->stats.pageouts, 0u);
+
+    // The grandchild reads everything correctly through the chain.
+    std::vector<std::uint8_t> out(region);
+    ASSERT_EQ(kernel.taskRead(*child, addr, out.data(), region),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+
+    kernel.taskTerminate(noise);
+    kernel.taskTerminate(child);
+    kernel.taskTerminate(parent);
+    kernel.taskTerminate(grandparent);
+    kernel.vm->flushCache();
+    EXPECT_EQ(kernel.vm->liveObjects, 0u);
+    EXPECT_EQ(kernel.defaultPager.pagesOnSwap(), 0u);
+}
+
+TEST(PagingChain, SwapExhaustionIsFatal)
+{
+    // Running out of swap is an unrecoverable configuration error
+    // (fatal, not a crash).
+    MachineSpec spec = test::tinySpec(ArchType::Vax, 1);
+    spec.physMemBytes = 64 << 10;
+    KernelConfig cfg;
+    cfg.swapBytes = 32 << 10;  // tiny swap
+    Kernel kernel(spec, cfg);
+
+    Task *task = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, 1 << 20, true),
+              KernReturn::Success);
+    std::vector<std::uint8_t> chunk(16 << 10, 0xdd);
+    EXPECT_EXIT(
+        {
+            for (VmOffset off = 0; off < (1 << 20);
+                 off += chunk.size()) {
+                (void)kernel.taskWrite(*task, addr + off,
+                                       chunk.data(), chunk.size());
+            }
+        },
+        ::testing::ExitedWithCode(1), "swap space exhausted");
+}
+
+} // namespace
+} // namespace mach

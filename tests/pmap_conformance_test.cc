@@ -1,0 +1,492 @@
+/**
+ * @file
+ * The pmap conformance suite: one set of machine-independent
+ * expectations, run against every machine-dependent module (the
+ * paper's central claim is exactly that such a single contract is
+ * implementable on all of these MMUs).
+ *
+ * Architecture-specific behaviours — RT PC alias evictions, SUN 3
+ * context/PMEG stealing, NS32082 limits — are covered by dedicated
+ * tests below the parameterized suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hh"
+#include "kern/kernel.hh"
+#include "pmap/pmap.hh"
+#include "pmap/rt_pmap.hh"
+#include "pmap/sun3_pmap.hh"
+#include "test_util.hh"
+
+namespace mach
+{
+namespace
+{
+
+class PmapConformance : public ::testing::TestWithParam<ArchType>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec = test::tinySpec(GetParam(), 4);
+        machine = std::make_unique<Machine>(spec);
+        sys = PmapSystem::build(*machine);
+        sys->init(spec.hwPageSize());
+        page = sys->machPageSize();
+    }
+
+    /** An arbitrary but valid (aligned, usable) physical page. */
+    PhysAddr
+    frame(unsigned n)
+    {
+        PhysAddr pa = (n + 1) * page;
+        EXPECT_TRUE(machine->memory().usable(pa, page));
+        return pa;
+    }
+
+    MachineSpec spec;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<PmapSystem> sys;
+    VmSize page = 0;
+};
+
+TEST_P(PmapConformance, CreateAndDestroy)
+{
+    Pmap *pmap = sys->create();
+    ASSERT_NE(pmap, nullptr);
+    EXPECT_FALSE(pmap->kernel());
+    EXPECT_EQ(pmap->references(), 1);
+    pmap->reference();
+    sys->destroy(pmap);  // drops to 1
+    EXPECT_EQ(pmap->references(), 1);
+    sys->destroy(pmap);  // gone
+}
+
+TEST_P(PmapConformance, KernelPmapExists)
+{
+    ASSERT_NE(sys->kernelPmap(), nullptr);
+    EXPECT_TRUE(sys->kernelPmap()->kernel());
+}
+
+TEST_P(PmapConformance, EnterExtractRemove)
+{
+    Pmap *pmap = sys->create();
+    VmOffset va = 4 * page;
+    PhysAddr pa = frame(2);
+
+    EXPECT_FALSE(pmap->access(va));
+    pmap->enter(va, pa, VmProt::Default, false);
+    ASSERT_TRUE(pmap->access(va));
+    EXPECT_EQ(pmap->extract(va).value(), pa);
+    EXPECT_EQ(pmap->extract(va + 7).value(), pa + 7);
+    EXPECT_FALSE(pmap->access(va + page));
+
+    pmap->remove(va, va + page);
+    EXPECT_FALSE(pmap->access(va));
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, EnterReplacesExistingMapping)
+{
+    Pmap *pmap = sys->create();
+    VmOffset va = 2 * page;
+    pmap->enter(va, frame(1), VmProt::Default, false);
+    pmap->enter(va, frame(3), VmProt::Default, false);
+    EXPECT_EQ(pmap->extract(va).value(), frame(3));
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, RemoveRange)
+{
+    Pmap *pmap = sys->create();
+    for (unsigned i = 0; i < 8; ++i)
+        pmap->enter(i * page, frame(i), VmProt::Default, false);
+    pmap->remove(2 * page, 5 * page);
+    for (unsigned i = 0; i < 8; ++i) {
+        bool expect_present = i < 2 || i >= 5;
+        EXPECT_EQ(pmap->access(i * page), expect_present) << i;
+    }
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, HwLookupMatchesExtract)
+{
+    Pmap *pmap = sys->create();
+    pmap->activate(0);  // SUN 3 needs a context for hw translation
+    VmOffset va = 6 * page;
+    pmap->enter(va, frame(4), VmProt::Read, false);
+    auto tr = pmap->hwLookup(va, AccessType::Read);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->pageBase, frame(4) +
+              (va & ~(spec.hwPageSize() - 1)) - va);
+    EXPECT_EQ(tr->prot, VmProt::Read);
+    pmap->deactivate(0);
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, ProtectNarrowsAccess)
+{
+    Pmap *pmap = sys->create();
+    VmOffset va = 3 * page;
+    pmap->enter(va, frame(5), VmProt::Default, false);
+    pmap->protect(va, va + page, VmProt::Read);
+    pmap->activate(0);
+    auto tr = pmap->hwLookup(va, AccessType::Read);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_FALSE(protIncludes(tr->prot, VmProt::Write));
+    EXPECT_TRUE(protIncludes(tr->prot, VmProt::Read));
+    pmap->deactivate(0);
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, ProtectToNoneRemoves)
+{
+    Pmap *pmap = sys->create();
+    VmOffset va = 3 * page;
+    pmap->enter(va, frame(5), VmProt::Default, false);
+    pmap->protect(va, va + page, VmProt::None);
+    EXPECT_FALSE(pmap->access(va));
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, RemoveAllClearsEveryMap)
+{
+    // The RT PC can't share, so aliasing there *moves* the mapping;
+    // either way pmap_remove_all must leave the frame unmapped.
+    Pmap *a = sys->create();
+    Pmap *b = sys->create();
+    PhysAddr pa = frame(6);
+    a->enter(page, pa, VmProt::Default, false);
+    b->enter(2 * page, pa, VmProt::Default, false);
+
+    sys->removeAll(pa, ShootdownMode::Immediate);
+    EXPECT_FALSE(a->access(page));
+    EXPECT_FALSE(b->access(2 * page));
+    sys->destroy(a);
+    sys->destroy(b);
+}
+
+TEST_P(PmapConformance, CopyOnWriteRevokesWrite)
+{
+    Pmap *pmap = sys->create();
+    PhysAddr pa = frame(7);
+    pmap->enter(4 * page, pa, VmProt::Default, false);
+    sys->copyOnWrite(pa, ShootdownMode::Immediate);
+    pmap->activate(0);
+    auto tr = pmap->hwLookup(4 * page, AccessType::Read);
+    // The mapping may have been dropped entirely (that's legal for a
+    // pmap) or kept read-only; it may NOT remain writable.
+    if (tr.has_value()) {
+        EXPECT_FALSE(protIncludes(tr->prot, VmProt::Write));
+    }
+    pmap->deactivate(0);
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, ModifyAndReferenceAttributes)
+{
+    Pmap *pmap = sys->create();
+    PhysAddr pa = frame(8);
+    VmOffset va = 5 * page;
+    pmap->enter(va, pa, VmProt::Default, false);
+    pmap->activate(0);
+    machine->bindSpace(0, pmap);
+
+    EXPECT_FALSE(sys->isModified(pa));
+    ASSERT_EQ(machine->touch(0, va, 1, AccessType::Read),
+              KernReturn::Success);
+    EXPECT_TRUE(sys->isReferenced(pa));
+    EXPECT_FALSE(sys->isModified(pa));
+
+    ASSERT_EQ(machine->touch(0, va, 1, AccessType::Write),
+              KernReturn::Success);
+    EXPECT_TRUE(sys->isModified(pa));
+
+    sys->clearModify(pa);
+    EXPECT_FALSE(sys->isModified(pa));
+
+    // A later write must be observed again even though the TLB had
+    // the page (clearModify resynchronizes hardware state).
+    pmap->enter(va, pa, VmProt::Default, false);
+    ASSERT_EQ(machine->touch(0, va, 1, AccessType::Write),
+              KernReturn::Success);
+    EXPECT_TRUE(sys->isModified(pa));
+
+    machine->bindSpace(0, nullptr);
+    pmap->deactivate(0);
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, MachPageMultipleExpandsToHwPages)
+{
+    // Rebuild with a Mach page of 4 hardware pages (section 3.1).
+    machine = std::make_unique<Machine>(spec);
+    sys = PmapSystem::build(*machine);
+    sys->init(spec.hwPageSize() * 4);
+    page = sys->machPageSize();
+
+    Pmap *pmap = sys->create();
+    PhysAddr pa = frame(1);
+    pmap->enter(page, pa, VmProt::Default, false);
+    // Every hardware page inside the Mach page translates.
+    for (VmSize off = 0; off < page; off += spec.hwPageSize())
+        EXPECT_EQ(pmap->extract(page + off).value(), pa + off);
+    sys->removeAll(pa, ShootdownMode::Immediate);
+    EXPECT_FALSE(pmap->access(page));
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, GarbageCollectIsSafe)
+{
+    // "Virtual-to-physical mappings may be thrown away at almost any
+    // time" — after garbageCollect anything non-wired may be gone,
+    // and re-entering must work.
+    Pmap *pmap = sys->create();
+    VmOffset va = 2 * page;
+    pmap->enter(va, frame(2), VmProt::Default, false);
+    pmap->garbageCollect();
+    pmap->enter(va, frame(2), VmProt::Default, false);
+    EXPECT_EQ(pmap->extract(va).value(), frame(2));
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, KernelMappingsSurviveGarbageCollect)
+{
+    Pmap *kernel = sys->kernelPmap();
+    VmOffset va = 7 * page;
+    kernel->enter(va, frame(3), VmProt::Default, true);
+    kernel->garbageCollect();
+    EXPECT_TRUE(kernel->access(va));
+    kernel->remove(va, va + page);
+}
+
+TEST_P(PmapConformance, ResidentMappingCount)
+{
+    Pmap *pmap = sys->create();
+    EXPECT_EQ(pmap->residentMappings(), 0u);
+    pmap->enter(page, frame(1), VmProt::Default, false);
+    pmap->enter(2 * page, frame(2), VmProt::Default, false);
+    VmSize per_mach_page = page / spec.hwPageSize();
+    EXPECT_EQ(pmap->residentMappings(), 2 * per_mach_page);
+    pmap->remove(page, 2 * page);
+    EXPECT_EQ(pmap->residentMappings(), per_mach_page);
+    sys->destroy(pmap);
+}
+
+TEST_P(PmapConformance, ActivateTracksCpus)
+{
+    Pmap *pmap = sys->create();
+    EXPECT_TRUE(pmap->cpusUsing().none());
+    pmap->activate(0);
+    EXPECT_TRUE(pmap->cpusUsing().test(0));
+    pmap->deactivate(0);
+    EXPECT_TRUE(pmap->cpusUsing().none());
+    sys->destroy(pmap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, PmapConformance,
+    ::testing::ValuesIn(test::allArchs()),
+    [](const ::testing::TestParamInfo<ArchType> &info) {
+        return test::archLabel(info.param);
+    });
+
+// ---------------------------------------------------------------
+// Architecture-specific behaviours.
+// ---------------------------------------------------------------
+
+TEST(RtPmap, AliasEvictionOnSharedFrame)
+{
+    // "only one valid mapping for each physical page ... with each
+    // page being mapped and then remapped for the last task which
+    // referenced it" (section 5.1).
+    MachineSpec spec = test::tinySpec(ArchType::RtPc, 4);
+    Machine machine(spec);
+    auto sys = PmapSystem::build(machine);
+    sys->init(spec.hwPageSize());
+    auto *rsys = static_cast<RtPmapSystem *>(sys.get());
+    VmSize page = sys->machPageSize();
+
+    Pmap *a = sys->create();
+    Pmap *b = sys->create();
+    PhysAddr pa = 4 * page;
+
+    a->enter(page, pa, VmProt::Default, false);
+    EXPECT_TRUE(a->access(page));
+    EXPECT_EQ(rsys->aliasEvictions, 0u);
+
+    b->enter(2 * page, pa, VmProt::Default, false);
+    EXPECT_EQ(rsys->aliasEvictions, 1u);
+    EXPECT_TRUE(b->access(2 * page));
+    EXPECT_FALSE(a->access(page));  // evicted
+
+    a->enter(page, pa, VmProt::Default, false);
+    EXPECT_EQ(rsys->aliasEvictions, 2u);
+    EXPECT_FALSE(b->access(2 * page));
+
+    sys->destroy(a);
+    sys->destroy(b);
+}
+
+TEST(Sun3Pmap, PmegStealUnderPressure)
+{
+    MachineSpec spec = test::tinySpec(ArchType::Sun3, 8);
+    Machine machine(spec);
+    Sun3PmapSystem sys(machine, 16);  // tiny PMEG pool
+    sys.init(spec.hwPageSize());
+    VmSize page = sys.machPageSize();
+    VmSize seg = sys.segmentSize();
+
+    Pmap *pmap = sys.create();
+    // One mapping per segment: 17 segments > 16 PMEGs forces steal.
+    for (unsigned i = 0; i < 17; ++i)
+        pmap->enter(i * seg, page, VmProt::Default, false);
+    EXPECT_GE(sys.pmegSteals, 1u);
+    // The most recent mapping is present; a stolen one is gone.
+    EXPECT_TRUE(pmap->access(16 * seg));
+    unsigned missing = 0;
+    for (unsigned i = 0; i < 17; ++i) {
+        if (!pmap->access(i * seg))
+            ++missing;
+    }
+    EXPECT_EQ(missing, 1u);
+    // Re-entering the stolen mapping works (MI layer refaults).
+    for (unsigned i = 0; i < 17; ++i) {
+        if (!pmap->access(i * seg))
+            pmap->enter(i * seg, page, VmProt::Default, false);
+    }
+    sys.destroy(pmap);
+}
+
+TEST(Sun3Pmap, ContextStealDropsVictimMappings)
+{
+    // "only 8 such contexts may exist at any one time.  If there are
+    // more than 8 active tasks, they compete for contexts,
+    // introducing additional page faults" (section 5.1).
+    MachineSpec spec = test::tinySpec(ArchType::Sun3, 8);
+    Machine machine(spec);
+    auto sys = PmapSystem::build(machine);
+    auto *ssys = static_cast<Sun3PmapSystem *>(sys.get());
+    sys->init(spec.hwPageSize());
+    VmSize page = sys->machPageSize();
+
+    std::vector<Pmap *> pmaps;
+    for (unsigned i = 0; i < 9; ++i)
+        pmaps.push_back(sys->create());
+
+    // Activate 8 task pmaps (then deactivate so they become steal
+    // candidates), each with a mapping.
+    for (unsigned i = 0; i < 8; ++i) {
+        pmaps[i]->enter(page, (i + 1) * page, VmProt::Default, false);
+        pmaps[i]->activate(0);
+        pmaps[i]->deactivate(0);
+        EXPECT_GE(static_cast<Sun3Pmap *>(pmaps[i])->context(), 0);
+    }
+    EXPECT_EQ(ssys->contextSteals, 0u);
+
+    // A ninth active task steals a context...
+    pmaps[8]->activate(0);
+    EXPECT_EQ(ssys->contextSteals, 1u);
+    EXPECT_GE(static_cast<Sun3Pmap *>(pmaps[8])->context(), 0);
+
+    // ...and exactly one victim lost its context and its mappings.
+    unsigned victims = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        if (static_cast<Sun3Pmap *>(pmaps[i])->context() < 0) {
+            ++victims;
+            EXPECT_FALSE(pmaps[i]->access(page));
+        }
+    }
+    EXPECT_EQ(victims, 1u);
+
+    pmaps[8]->deactivate(0);
+    for (Pmap *p : pmaps)
+        sys->destroy(p);
+}
+
+TEST(Ns32082Pmap, RejectsOutOfRangeAddresses)
+{
+    MachineSpec spec = MachineSpec::encoreMultimax(1);
+    spec.physMemBytes = 32ull << 20;
+    Machine machine(spec);
+    auto sys = PmapSystem::build(machine);
+    sys->init(spec.hwPageSize());
+    Pmap *pmap = sys->create();
+    VmSize page = sys->machPageSize();
+
+    // Mapping inside the limits works.
+    pmap->enter(page, page, VmProt::Default, false);
+    EXPECT_TRUE(pmap->access(page));
+
+    // Beyond 16MB of VA or 32MB of PA is a hard failure.
+    EXPECT_DEATH(pmap->enter(16ull << 20, page, VmProt::Default,
+                             false), "16MB");
+    sys->destroy(pmap);
+}
+
+TEST(VaxPmap, OptionalPmapCopySeedsChildReadOnly)
+{
+    // Table 3-4 pmap_copy: the child's map is pre-seeded read-only,
+    // so reads take no faults while writes still COW.
+    Kernel kernel(test::tinySpec(ArchType::Vax, 8));
+    kernel.pmaps->usePmapCopy = true;
+    VmSize page = kernel.pageSize();
+
+    Task *parent = kernel.taskCreate();
+    VmOffset addr = 0;
+    EXPECT_EQ(parent->map().allocate(&addr, 8 * page, true),
+              KernReturn::Success);
+    auto data = test::pattern(8 * page, 90);
+    EXPECT_EQ(kernel.taskWrite(*parent, addr, data.data(),
+                               data.size()),
+              KernReturn::Success);
+
+    Task *child = kernel.taskFork(*parent);
+    // The child's pmap already translates the parent's pages...
+    EXPECT_TRUE(child->getPmap()->access(addr));
+
+    // ...so reading the whole region faults zero times.
+    std::uint64_t faults0 = kernel.vm->stats.faults;
+    std::vector<std::uint8_t> out(8 * page);
+    EXPECT_EQ(kernel.taskRead(*child, addr, out.data(), out.size()),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(kernel.vm->stats.faults, faults0);
+
+    // Writes still trigger copy-on-write, not shared mutation.
+    std::uint8_t z = 0xEE;
+    EXPECT_EQ(kernel.taskWrite(*child, addr, &z, 1),
+              KernReturn::Success);
+    std::uint8_t parent_sees = 0;
+    EXPECT_EQ(kernel.taskRead(*parent, addr, &parent_sees, 1),
+              KernReturn::Success);
+    EXPECT_EQ(parent_sees, data[0]);
+}
+
+TEST(VaxPmap, LazyTableConstructionAndTrim)
+{
+    MachineSpec spec = test::tinySpec(ArchType::Vax, 4);
+    Machine machine(spec);
+    auto sys = PmapSystem::build(machine);
+    sys->init(spec.hwPageSize());
+    VmSize page = sys->machPageSize();
+
+    Pmap *pmap = sys->create();
+    std::uint64_t built0 = sys->tablePagesBuilt;
+    // Two mappings far apart: two table pages, not a full linear
+    // table (the paper: only the needed parts are constructed).
+    pmap->enter(page, page, VmProt::Default, false);
+    pmap->enter(1ull << 30, 2 * page, VmProt::Default, false);
+    EXPECT_EQ(sys->tablePagesBuilt - built0, 2u);
+
+    // Removing the mappings frees the table pages.
+    std::uint64_t freed0 = sys->tablePagesFreed;
+    pmap->remove(0, 2ull << 30);
+    EXPECT_EQ(sys->tablePagesFreed - freed0, 2u);
+    sys->destroy(pmap);
+}
+
+} // namespace
+} // namespace mach

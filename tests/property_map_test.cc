@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Property-based tests for VmMap: long random sequences of Table 2-1
+ * operations are mirrored against a trivial page-granular reference
+ * model; after every step the map must agree with the model on
+ * allocation, protection and inheritance, and its internal structure
+ * (sorted, non-overlapping, coalesced where possible) must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "hw/machine.hh"
+#include "pmap/pmap.hh"
+#include "test_util.hh"
+#include "vm/vm_map.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_sys.hh"
+
+namespace mach
+{
+namespace
+{
+
+/** Deterministic xorshift RNG. */
+struct Rng
+{
+    std::uint32_t x;
+    explicit Rng(std::uint32_t seed) : x(seed ? seed : 1) {}
+    std::uint32_t
+    next()
+    {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        return x;
+    }
+    std::uint32_t next(std::uint32_t bound) { return next() % bound; }
+};
+
+/** Page-granular reference model of an address space. */
+struct RefPage
+{
+    VmProt prot = VmProt::Default;
+    VmProt maxProt = VmProt::All;
+    VmInherit inherit = VmInherit::Copy;
+};
+
+class MapProperty : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    static constexpr unsigned kPages = 64;  //!< modelled window
+
+    void
+    SetUp() override
+    {
+        spec = test::tinySpec(ArchType::Vax, 4);
+        machine = std::make_unique<Machine>(spec);
+        pmaps = PmapSystem::build(*machine);
+        pmaps->init(spec.hwPageSize());
+        vm = std::make_unique<VmSys>(*machine, *pmaps,
+                                     spec.hwPageSize());
+        page = vm->pageSize();
+        pmap = pmaps->create();
+        map = new VmMap(*vm, pmap, page, (kPages + 64) * page);
+    }
+
+    void
+    TearDown() override
+    {
+        map->deallocate(map->minAddress(),
+                        map->maxAddress() - map->minAddress());
+        map->deallocateRef();
+        pmaps->destroy(pmap);
+    }
+
+    VmOffset pageAddr(unsigned i) const { return (1 + i) * page; }
+
+    /** Check the map against the reference model, page by page. */
+    void
+    checkAgainstModel(const std::map<unsigned, RefPage> &model)
+    {
+        for (unsigned i = 0; i < kPages; ++i) {
+            VmMap::LookupResult lr;
+            KernReturn kr = map->lookup(pageAddr(i), FaultType::Read,
+                                        lr);
+            auto it = model.find(i);
+            if (it == model.end()) {
+                EXPECT_EQ(kr, KernReturn::InvalidAddress)
+                    << "page " << i << " should be unallocated";
+                continue;
+            }
+            if (!protIncludes(it->second.prot, VmProt::Read)) {
+                EXPECT_EQ(kr, KernReturn::ProtectionFailure)
+                    << "page " << i;
+                continue;
+            }
+            ASSERT_EQ(kr, KernReturn::Success) << "page " << i;
+            EXPECT_EQ(lr.prot, it->second.prot) << "page " << i;
+        }
+    }
+
+    /** Structural invariants of the entry list. */
+    void
+    checkStructure()
+    {
+        const auto &entries = map->entryList();
+        VmOffset prev_end = 0;
+        for (const VmMapEntry &e : entries) {
+            EXPECT_LT(e.start, e.end);
+            EXPECT_GE(e.start, prev_end) << "entries must be sorted "
+                                            "and disjoint";
+            EXPECT_EQ(e.start % page, 0u);
+            EXPECT_EQ(e.end % page, 0u);
+            EXPECT_TRUE(protIncludes(e.maxProtection, e.protection))
+                << "current protection exceeds maximum";
+            prev_end = e.end;
+        }
+    }
+
+    MachineSpec spec;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<PmapSystem> pmaps;
+    std::unique_ptr<VmSys> vm;
+    VmSize page = 0;
+    Pmap *pmap = nullptr;
+    VmMap *map = nullptr;
+};
+
+TEST_P(MapProperty, RandomOperationSequence)
+{
+    Rng rng(GetParam());
+    std::map<unsigned, RefPage> model;
+
+    for (unsigned step = 0; step < 600; ++step) {
+        unsigned op = rng.next(100);
+        unsigned start = rng.next(kPages);
+        unsigned len = 1 + rng.next(8);
+        if (start + len > kPages)
+            len = kPages - start;
+        if (len == 0)
+            continue;
+
+        if (op < 35) {
+            // allocate at a fixed place (may fail on overlap).
+            VmOffset addr = pageAddr(start);
+            KernReturn kr = map->allocate(&addr, len * page, false);
+            bool free = true;
+            for (unsigned i = start; i < start + len; ++i)
+                free = free && !model.count(i);
+            EXPECT_EQ(kr == KernReturn::Success, free)
+                << "allocate at " << start << "+" << len;
+            if (kr == KernReturn::Success) {
+                for (unsigned i = start; i < start + len; ++i)
+                    model[i] = RefPage{};
+            }
+        } else if (op < 55) {
+            // deallocate (always succeeds inside the window).
+            ASSERT_EQ(map->deallocate(pageAddr(start), len * page),
+                      KernReturn::Success);
+            for (unsigned i = start; i < start + len; ++i)
+                model.erase(i);
+        } else if (op < 75) {
+            // protect: requires full coverage; honours max.
+            static const VmProt kProts[] = {
+                VmProt::Read, VmProt::Default, VmProt::All,
+                VmProt::Read | VmProt::Execute};
+            VmProt p = kProts[rng.next(4)];
+            bool covered = true;
+            bool allowed = true;
+            for (unsigned i = start; i < start + len; ++i) {
+                auto it = model.find(i);
+                if (it == model.end()) {
+                    covered = false;
+                } else if (!protIncludes(it->second.maxProt, p)) {
+                    allowed = false;
+                }
+            }
+            KernReturn kr = map->protect(pageAddr(start), len * page,
+                                         false, p);
+            if (!covered) {
+                EXPECT_EQ(kr, KernReturn::InvalidAddress);
+            } else if (!allowed) {
+                EXPECT_EQ(kr, KernReturn::ProtectionFailure);
+            } else {
+                ASSERT_EQ(kr, KernReturn::Success);
+                for (unsigned i = start; i < start + len; ++i)
+                    model[i].prot = p;
+            }
+        } else if (op < 85) {
+            // lower the maximum protection.
+            VmProt p = rng.next(2) ? VmProt::Read : VmProt::Default;
+            bool covered = true;
+            for (unsigned i = start; i < start + len; ++i)
+                covered = covered && model.count(i);
+            KernReturn kr = map->protect(pageAddr(start), len * page,
+                                         true, p);
+            if (!covered) {
+                EXPECT_EQ(kr, KernReturn::InvalidAddress);
+            } else {
+                ASSERT_EQ(kr, KernReturn::Success);
+                for (unsigned i = start; i < start + len; ++i) {
+                    RefPage &r = model[i];
+                    r.maxProt = r.maxProt & p;
+                    r.prot = r.prot & r.maxProt;
+                }
+            }
+        } else {
+            // inherit.
+            static const VmInherit kInh[] = {
+                VmInherit::Share, VmInherit::Copy, VmInherit::None};
+            VmInherit inh = kInh[rng.next(3)];
+            bool covered = true;
+            for (unsigned i = start; i < start + len; ++i)
+                covered = covered && model.count(i);
+            KernReturn kr = map->inherit(pageAddr(start), len * page,
+                                         inh);
+            if (!covered) {
+                EXPECT_EQ(kr, KernReturn::InvalidAddress);
+            } else {
+                ASSERT_EQ(kr, KernReturn::Success);
+                for (unsigned i = start; i < start + len; ++i)
+                    model[i].inherit = inh;
+            }
+        }
+
+        checkStructure();
+        if (step % 37 == 0)
+            checkAgainstModel(model);
+    }
+    checkAgainstModel(model);
+
+    // vm_regions agrees with the model: walk all regions and count
+    // allocated pages in the window.
+    VmOffset probe = map->minAddress();
+    VmRegionInfo info;
+    std::size_t pages_seen = 0;
+    while (map->region(&probe, &info) == KernReturn::Success) {
+        for (VmOffset va = info.start; va < info.start + info.size;
+             va += page) {
+            if (va >= pageAddr(0) && va < pageAddr(kPages))
+                ++pages_seen;
+        }
+    }
+    EXPECT_EQ(pages_seen, model.size());
+}
+
+TEST_P(MapProperty, InheritanceIsObeyedByFork)
+{
+    // Randomize inheritance, fork, and check the child matches the
+    // model's expectation page by page.
+    Rng rng(GetParam() * 7919);
+    std::map<unsigned, RefPage> model;
+
+    for (unsigned i = 0; i < kPages; ++i) {
+        if (rng.next(4) == 0)
+            continue;  // leave a hole
+        VmOffset addr = pageAddr(i);
+        ASSERT_EQ(map->allocate(&addr, page, false),
+                  KernReturn::Success);
+        RefPage r;
+        unsigned k = rng.next(3);
+        r.inherit = k == 0 ? VmInherit::Share
+                   : k == 1 ? VmInherit::Copy : VmInherit::None;
+        ASSERT_EQ(map->inherit(addr, page, r.inherit),
+                  KernReturn::Success);
+        model[i] = r;
+        // Touch some pages so objects exist pre-fork.
+        if (rng.next(2) == 0)
+            (void)vm->fault(*map, addr, FaultType::Write);
+    }
+
+    Pmap *child_pmap = pmaps->create();
+    VmMap *child = map->fork(child_pmap);
+
+    for (unsigned i = 0; i < kPages; ++i) {
+        VmMap::LookupResult lr;
+        KernReturn kr = child->lookup(pageAddr(i), FaultType::Read,
+                                      lr);
+        auto it = model.find(i);
+        if (it == model.end() ||
+            it->second.inherit == VmInherit::None) {
+            EXPECT_EQ(kr, KernReturn::InvalidAddress) << "page " << i;
+        } else {
+            EXPECT_EQ(kr, KernReturn::Success) << "page " << i;
+        }
+    }
+
+    child->deallocate(child->minAddress(),
+                      child->maxAddress() - child->minAddress());
+    child->deallocateRef();
+    pmaps->destroy(child_pmap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));
+
+} // namespace
+} // namespace mach

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Shape-regression tests: the *relationships* of the paper's
+ * evaluation (Tables 7-1/7-2) pinned as assertions, so that cost
+ * model or VM changes that would break the reproduced result fail in
+ * CI rather than silently skewing the benchmarks.  Also checks cost
+ * accounting invariants (categories sum to the total; determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "unix/unix_vm.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+/** Mach fork time for a task with @p size dirty bytes. */
+SimTime
+machFork(const MachineSpec &spec, VmSize size)
+{
+    Kernel kernel(spec);
+    Task *task = kernel.taskCreate();
+    VmOffset addr = 0;
+    EXPECT_EQ(task->map().allocate(&addr, size, true),
+              KernReturn::Success);
+    std::vector<std::uint8_t> data(size, 1);
+    EXPECT_EQ(kernel.taskWrite(*task, addr, data.data(), size),
+              KernReturn::Success);
+    SimTime t0 = kernel.now();
+    kernel.taskFork(*task);
+    return kernel.now() - t0;
+}
+
+/** UNIX fork time for the same workload. */
+SimTime
+unixFork(const MachineSpec &spec, VmSize size)
+{
+    Machine machine(spec);
+    UnixVm unix_vm(machine, 120);
+    UnixProc *proc = unix_vm.procCreate();
+    VmOffset addr = 0;
+    EXPECT_EQ(unix_vm.allocate(*proc, &addr, size),
+              KernReturn::Success);
+    std::vector<std::uint8_t> data(size, 1);
+    EXPECT_EQ(unix_vm.procWrite(*proc, addr, data.data(), size),
+              KernReturn::Success);
+    SimTime t0 = machine.clock().now();
+    unix_vm.fork(*proc);
+    return machine.clock().now() - t0;
+}
+
+class ShapeTest : public ::testing::TestWithParam<ArchType>
+{
+};
+
+TEST_P(ShapeTest, MachForkBeatsUnixForkEverywhere)
+{
+    // Table 7-1 rows 4-6: Mach's COW fork wins on every machine the
+    // paper measured (and the ones it didn't).
+    MachineSpec spec = test::tinySpec(GetParam(), 8);
+    VmSize size = 256 << 10;
+    if (size > spec.physMemBytes / 4)
+        size = spec.physMemBytes / 4;
+    SimTime mach_time = machFork(spec, size);
+    SimTime unix_time = unixFork(spec, size);
+    EXPECT_LT(mach_time, unix_time)
+        << "COW fork lost to eager fork on "
+        << archTypeName(GetParam());
+}
+
+TEST_P(ShapeTest, ZeroFillCompetitiveEverywhere)
+{
+    // Table 7-1 rows 1-3: Mach's zero-fill path is never worse than
+    // the heavier 4.3bsd one.
+    MachineSpec spec = test::tinySpec(GetParam(), 8);
+
+    Kernel kernel(spec);
+    Task *task = kernel.taskCreate();
+    VmOffset warm = 0;
+    EXPECT_EQ(task->map().allocate(&warm, kernel.pageSize(), true),
+              KernReturn::Success);
+    EXPECT_EQ(kernel.taskTouch(*task, warm, 1, AccessType::Write),
+              KernReturn::Success);
+    VmOffset addr = 0;
+    EXPECT_EQ(task->map().allocate(&addr, 64 << 10, true),
+              KernReturn::Success);
+    SimTime t0 = kernel.now();
+    EXPECT_EQ(kernel.taskTouch(*task, addr, 32 << 10,
+                               AccessType::Write),
+              KernReturn::Success);
+    SimTime mach_time = kernel.now() - t0;
+
+    Machine machine(spec);
+    UnixVm unix_vm(machine, 32);
+    UnixProc *proc = unix_vm.procCreate();
+    VmOffset uwarm = 0;
+    EXPECT_EQ(unix_vm.allocate(*proc, &uwarm, spec.hwPageSize()),
+              KernReturn::Success);
+    EXPECT_EQ(unix_vm.touch(*proc, uwarm, 1, true),
+              KernReturn::Success);
+    VmOffset uaddr = 0;
+    EXPECT_EQ(unix_vm.allocate(*proc, &uaddr, 64 << 10),
+              KernReturn::Success);
+    t0 = machine.clock().now();
+    EXPECT_EQ(unix_vm.touch(*proc, uaddr, 32 << 10, true),
+              KernReturn::Success);
+    SimTime unix_time = machine.clock().now() - t0;
+
+    EXPECT_LE(mach_time, unix_time * 11 / 10)
+        << "zero fill fell behind on " << archTypeName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, ShapeTest,
+    ::testing::ValuesIn(test::allArchs()),
+    [](const ::testing::TestParamInfo<ArchType> &info) {
+        return test::archLabel(info.param);
+    });
+
+TEST(Shape, FileRereadIsTheHeadline)
+{
+    // Table 7-1 rows 7-8 on the VAX 8200: Mach's second read of a
+    // big file beats its first by a wide margin (object cache);
+    // 4.3bsd's does not (too-small buffer cache).
+    MachineSpec spec = MachineSpec::vax8200();
+    spec.physMemBytes = 8ull << 20;
+    VmSize size = 1 << 20;  // 1MB >> 120 x 1K buffers
+
+    KernelConfig cfg;
+    cfg.machPageMultiple = 2;
+    Kernel kernel(spec, cfg);
+    kernel.createPatternFile("big", size, 3);
+    std::vector<std::uint8_t> buf(size);
+    VmSize got = 0;
+    SimTime t0 = kernel.now();
+    EXPECT_EQ(kernel.fileRead("big", 0, buf.data(), size, &got),
+              KernReturn::Success);
+    SimTime mach_first = kernel.now() - t0;
+    t0 = kernel.now();
+    EXPECT_EQ(kernel.fileRead("big", 0, buf.data(), size, &got),
+              KernReturn::Success);
+    SimTime mach_second = kernel.now() - t0;
+
+    Machine machine(spec);
+    UnixVm unix_vm(machine, 120);
+    unix_vm.createPatternFile("big", size, 3);
+    t0 = machine.clock().now();
+    EXPECT_EQ(unix_vm.read("big", 0, buf.data(), size), size);
+    SimTime unix_first = machine.clock().now() - t0;
+    t0 = machine.clock().now();
+    EXPECT_EQ(unix_vm.read("big", 0, buf.data(), size), size);
+    SimTime unix_second = machine.clock().now() - t0;
+
+    EXPECT_LT(mach_second * 3, mach_first)
+        << "object cache reread should be >3x faster";
+    EXPECT_GT(unix_second * 2, unix_first)
+        << "thrashing buffer cache reread should stay expensive";
+    EXPECT_LT(mach_second * 3, unix_second)
+        << "Mach reread should beat 4.3bsd reread by a wide margin";
+}
+
+TEST(Shape, CacheConfigurationInversion)
+{
+    // Table 7-2's signature: unshackling the cache helps Mach and
+    // (relatively) cannot help 4.3bsd beyond its fixed pool.
+    MachineSpec spec = MachineSpec::vax8650();
+    spec.physMemBytes = 8ull << 20;
+    VmSize file = 768 << 10;
+
+    auto mach_run = [&](std::size_t cache_pages) {
+        KernelConfig cfg;
+        cfg.machPageMultiple = 2;
+        cfg.cachedPageLimit = cache_pages;
+        Kernel kernel(spec, cfg);
+        kernel.createPatternFile("f", file, 4);
+        std::vector<std::uint8_t> buf(file);
+        VmSize got = 0;
+        SimTime t0 = kernel.now();
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(kernel.fileRead("f", 0, buf.data(), file, &got),
+                      KernReturn::Success);
+        }
+        return kernel.now() - t0;
+    };
+
+    SimTime generous = mach_run(0);      // generic: memory-bounded
+    SimTime capped = mach_run(256);      // "400 buffer"-style cap
+    EXPECT_LT(generous, capped)
+        << "Mach must get faster with an unshackled object cache";
+}
+
+TEST(Shape, CostCategoriesSumToTotal)
+{
+    Kernel kernel(test::tinySpec(ArchType::Vax, 4));
+    Task *task = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(task->map().allocate(&addr, 64 << 10, true),
+              KernReturn::Success);
+    std::vector<std::uint8_t> data(64 << 10, 9);
+    ASSERT_EQ(kernel.taskWrite(*task, addr, data.data(), data.size()),
+              KernReturn::Success);
+    kernel.taskFork(*task);
+
+    const SimClock &clock = kernel.machine.clock();
+    SimTime sum = 0;
+    for (std::size_t i = 0; i < SimClock::numKinds; ++i)
+        sum += clock.kindTotal(static_cast<CostKind>(i));
+    EXPECT_EQ(sum, clock.now());
+    EXPECT_GT(clock.kindTotal(CostKind::MemZero), 0u);
+    EXPECT_GT(clock.kindTotal(CostKind::FaultTrap), 0u);
+    EXPECT_GT(clock.kindTotal(CostKind::PmapOp), 0u);
+}
+
+TEST(Shape, SimulationIsDeterministic)
+{
+    auto run = [] {
+        Kernel kernel(test::tinySpec(ArchType::Sun3, 2));
+        Task *task = kernel.taskCreate();
+        VmOffset addr = 0;
+        EXPECT_EQ(task->map().allocate(&addr, 256 << 10, true),
+                  KernReturn::Success);
+        auto data = test::pattern(256 << 10, 8);
+        EXPECT_EQ(kernel.taskWrite(*task, addr, data.data(),
+                                   data.size()),
+                  KernReturn::Success);
+        Task *child = kernel.taskFork(*task);
+        EXPECT_EQ(kernel.taskTouch(*child, addr, 64 << 10,
+                                   AccessType::Write),
+                  KernReturn::Success);
+        return kernel.now();
+    };
+    SimTime a = run();
+    SimTime b = run();
+    EXPECT_EQ(a, b) << "same program, same simulated time — always";
+}
+
+} // namespace
+} // namespace mach

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Multiprocessor TLB-consistency tests (paper section 5.2).
+ *
+ * None of the simulated multiprocessors keep TLBs consistent in
+ * hardware, and a remote TLB cannot be touched directly; the kernel
+ * must use one of three strategies: (1) forcible IPI flush, (2)
+ * postpone until all CPUs take a timer interrupt, (3) allow temporary
+ * inconsistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "vm/vm_user.hh"
+
+namespace mach
+{
+namespace
+{
+
+class ShootdownTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec = test::tinySpec(ArchType::Ns32082, 8, 4);
+        kernel = std::make_unique<Kernel>(spec);
+        page = kernel->pageSize();
+        task = kernel->taskCreate();
+
+        // The task runs threads on all four CPUs, with its address
+        // space loaded on each.
+        for (CpuId cpu = 0; cpu < 4; ++cpu) {
+            kernel->threadCreate(*task);
+            kernel->switchTo(task, cpu);
+        }
+
+        addr = 0;
+        EXPECT_EQ(task->map().allocate(&addr, 4 * page, true),
+                  KernReturn::Success);
+        // Touch from every CPU so each TLB caches the mapping.
+        for (CpuId cpu = 0; cpu < 4; ++cpu) {
+            kernel->machine.setCurrentCpu(cpu);
+            EXPECT_EQ(kernel->machine.touch(cpu, addr, 4 * page,
+                                            AccessType::Write),
+                      KernReturn::Success);
+        }
+        kernel->machine.setCurrentCpu(0);
+    }
+
+    MachineSpec spec;
+    std::unique_ptr<Kernel> kernel;
+    VmSize page = 0;
+    Task *task = nullptr;
+    VmOffset addr = 0;
+};
+
+TEST_F(ShootdownTest, ImmediatePolicySendsIpis)
+{
+    kernel->pmaps->policy.protect = ShootdownMode::Immediate;
+    std::uint64_t ipis0 = kernel->machine.ipiCount();
+
+    ASSERT_EQ(vmProtect(*kernel->vm, task->map(), addr, 4 * page,
+                        false, VmProt::Read),
+              KernReturn::Success);
+
+    // Three remote CPUs were interrupted (the fourth flush is
+    // local).
+    EXPECT_GE(kernel->machine.ipiCount() - ipis0, 3u);
+    EXPECT_GE(kernel->pmaps->shootdownIpis, 3u);
+
+    // Every CPU now refuses writes.
+    for (CpuId cpu = 0; cpu < 4; ++cpu) {
+        kernel->machine.setCurrentCpu(cpu);
+        EXPECT_EQ(kernel->machine.touch(cpu, addr, 1,
+                                        AccessType::Write),
+                  KernReturn::ProtectionFailure)
+            << "cpu " << cpu;
+    }
+}
+
+TEST_F(ShootdownTest, DeferredPolicyWaitsForTick)
+{
+    kernel->pmaps->policy.protect = ShootdownMode::Deferred;
+    std::uint64_t ipis0 = kernel->machine.ipiCount();
+
+    ASSERT_EQ(vmProtect(*kernel->vm, task->map(), addr, 4 * page,
+                        false, VmProt::Read),
+              KernReturn::Success);
+
+    // No IPIs; the flush is queued.
+    EXPECT_EQ(kernel->machine.ipiCount(), ipis0);
+    EXPECT_GT(kernel->machine.deferredCount(), 0u);
+    EXPECT_GT(kernel->pmaps->deferredFlushes, 0u);
+
+    // Until the tick, a remote CPU may still write through its
+    // stale TLB entry (the documented temporary inconsistency).
+    kernel->machine.setCurrentCpu(1);
+    EXPECT_EQ(kernel->machine.touch(1, addr, 1, AccessType::Write),
+              KernReturn::Success);
+
+    // After the timer interrupt the change is visible everywhere.
+    kernel->machine.timerTick();
+    for (CpuId cpu = 0; cpu < 4; ++cpu) {
+        kernel->machine.setCurrentCpu(cpu);
+        EXPECT_EQ(kernel->machine.touch(cpu, addr, 1,
+                                        AccessType::Write),
+                  KernReturn::ProtectionFailure)
+            << "cpu " << cpu;
+    }
+}
+
+TEST_F(ShootdownTest, LazyPolicyAllowsTemporaryInconsistency)
+{
+    kernel->pmaps->policy.protect = ShootdownMode::Lazy;
+    std::uint64_t ipis0 = kernel->machine.ipiCount();
+    std::uint64_t lazy0 = kernel->pmaps->lazySkips;
+
+    ASSERT_EQ(vmProtect(*kernel->vm, task->map(), addr, 4 * page,
+                        false, VmProt::Read),
+              KernReturn::Success);
+    EXPECT_EQ(kernel->machine.ipiCount(), ipis0);
+    EXPECT_GT(kernel->pmaps->lazySkips, lazy0);
+
+    // The local CPU (0) flushed nothing either; stale entries allow
+    // writes until they naturally leave the TLB.
+    kernel->machine.setCurrentCpu(2);
+    EXPECT_EQ(kernel->machine.touch(2, addr, 1, AccessType::Write),
+              KernReturn::Success);
+
+    // Once the TLB entry is displaced (simulate with a full flush,
+    // e.g. a context switch), the new protection applies.
+    kernel->machine.cpu(2).tlb.flushAll();
+    EXPECT_EQ(kernel->machine.touch(2, addr, 1, AccessType::Write),
+              KernReturn::ProtectionFailure);
+}
+
+TEST_F(ShootdownTest, PageoutUsesDeferredFlushBeforeReuse)
+{
+    // Case 2 end-to-end: removeAll with the pageout policy leaves
+    // deferred work; the daemon always ticks before writing.
+    VmMap::LookupResult lr;
+    ASSERT_EQ(task->map().lookup(addr, FaultType::Read, lr),
+              KernReturn::Success);
+    VmPage *p = kernel->vm->resident.lookup(lr.object,
+                                            kernel->vm->pageTrunc(
+                                                lr.offset));
+    ASSERT_NE(p, nullptr);
+
+    std::uint64_t deferred0 = kernel->pmaps->deferredFlushes;
+    kernel->vm->pmaps.removeAll(p->physAddr,
+                                kernel->pmaps->policy.pageout);
+    EXPECT_GT(kernel->pmaps->deferredFlushes, deferred0);
+    EXPECT_GT(kernel->machine.deferredCount(), 0u);
+    kernel->machine.timerTick();
+    EXPECT_EQ(kernel->machine.deferredCount(), 0u);
+}
+
+TEST_F(ShootdownTest, ImmediateCostExceedsLazy)
+{
+    // The three strategies have strictly ordered costs.
+    auto run = [&](ShootdownMode mode) {
+        kernel->pmaps->policy.protect = mode;
+        // Refresh mappings on all CPUs.
+        for (CpuId cpu = 0; cpu < 4; ++cpu) {
+            kernel->machine.setCurrentCpu(cpu);
+            EXPECT_EQ(kernel->machine.touch(cpu, addr, 4 * page,
+                                            AccessType::Read),
+                      KernReturn::Success);
+        }
+        kernel->machine.setCurrentCpu(0);
+        SimTime t0 = kernel->now();
+        EXPECT_EQ(vmProtect(*kernel->vm, task->map(), addr, 4 * page,
+                            false, VmProt::Read),
+                  KernReturn::Success);
+        SimTime cost = kernel->now() - t0;
+        kernel->machine.timerTick();
+        EXPECT_EQ(vmProtect(*kernel->vm, task->map(), addr, 4 * page,
+                            false, VmProt::Default),
+                  KernReturn::Success);
+        kernel->machine.timerTick();
+        return cost;
+    };
+
+    SimTime immediate = run(ShootdownMode::Immediate);
+    SimTime lazy = run(ShootdownMode::Lazy);
+    EXPECT_GT(immediate, lazy);
+}
+
+TEST(TaggedTlb, InactiveContextEntriesAreShotDown)
+{
+    // On context-tagged hardware (SUN 3) a task's TLB entries
+    // survive being switched out; protection changes made while it
+    // is inactive must still be visible when it runs again.
+    Kernel kernel(test::tinySpec(ArchType::Sun3, 8));
+    VmSize page = kernel.pageSize();
+
+    Task *a = kernel.taskCreate();
+    VmOffset addr = 0;
+    ASSERT_EQ(a->map().allocate(&addr, page, true),
+              KernReturn::Success);
+    ASSERT_EQ(vmInherit(*kernel.vm, a->map(), addr, page,
+                        VmInherit::Share),
+              KernReturn::Success);
+    std::uint8_t b = 1;
+    ASSERT_EQ(kernel.taskWrite(*a, addr, &b, 1), KernReturn::Success);
+
+    Task *other = kernel.taskFork(*a);
+    // Switch to the sharer: on the SUN 3 this does NOT flush a's
+    // TLB entries (contexts are tagged).
+    ASSERT_EQ(kernel.taskRead(*other, addr, &b, 1),
+              KernReturn::Success);
+
+    // Protect through the sharer while a is inactive.
+    ASSERT_EQ(vmProtect(*kernel.vm, other->map(), addr, page, false,
+                        VmProt::Read),
+              KernReturn::Success);
+
+    // a's stale (writable) TLB entry must be gone.
+    EXPECT_EQ(kernel.taskTouch(*a, addr, 1, AccessType::Write),
+              KernReturn::ProtectionFailure);
+}
+
+} // namespace
+} // namespace mach

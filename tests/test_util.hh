@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef MACH_TESTS_TEST_UTIL_HH
+#define MACH_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine_spec.hh"
+
+namespace mach::test
+{
+
+/** A small machine of the given architecture, for fast tests. */
+inline MachineSpec
+tinySpec(ArchType arch, std::uint64_t phys_mb = 2, unsigned cpus = 1)
+{
+    MachineSpec s;
+    switch (arch) {
+      case ArchType::Vax:
+        s = MachineSpec::microVax2();
+        break;
+      case ArchType::RtPc:
+        s = MachineSpec::rtPc();
+        break;
+      case ArchType::Sun3:
+        s = MachineSpec::sun3_160();
+        s.physHoles.clear();  // holes covered by dedicated tests
+        break;
+      case ArchType::Ns32082:
+        s = MachineSpec::encoreMultimax(cpus);
+        break;
+      case ArchType::TlbOnly:
+        s = MachineSpec::ibmRp3(cpus);
+        break;
+    }
+    s.physMemBytes = phys_mb << 20;
+    if (s.physAddrLimit)
+        s.physAddrLimit = std::min(s.physAddrLimit, s.physMemBytes);
+    s.numCpus = cpus;
+    return s;
+}
+
+/** All architectures, for parameterized suites. */
+inline std::vector<ArchType>
+allArchs()
+{
+    return {ArchType::Vax, ArchType::RtPc, ArchType::Sun3,
+            ArchType::Ns32082, ArchType::TlbOnly};
+}
+
+/** Deterministic pseudo-random byte pattern. */
+inline std::vector<std::uint8_t>
+pattern(std::size_t len, std::uint32_t seed = 1)
+{
+    std::vector<std::uint8_t> v(len);
+    std::uint32_t x = seed ? seed : 1;
+    for (std::size_t i = 0; i < len; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        v[i] = std::uint8_t(x);
+    }
+    return v;
+}
+
+/** Printable architecture name for parameterized test labels. */
+inline std::string
+archLabel(ArchType arch)
+{
+    return archTypeName(arch);
+}
+
+} // namespace mach::test
+
+#endif // MACH_TESTS_TEST_UTIL_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the 4.3bsd-style baseline: eager fork copies, demand
+ * zero fill, buffer-cache reads, and the cost relationships the
+ * Table 7-1 comparison relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.hh"
+#include "test_util.hh"
+#include "unix/unix_vm.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(UnixVm, AllocateAndTouchZeroFills)
+{
+    Machine machine(test::tinySpec(ArchType::Vax, 4));
+    UnixVm unix_vm(machine, 32);
+    UnixProc *proc = unix_vm.procCreate();
+
+    VmOffset addr = 0;
+    ASSERT_EQ(unix_vm.allocate(*proc, &addr, 8 * 512),
+              KernReturn::Success);
+    ASSERT_EQ(unix_vm.touch(*proc, addr, 8 * 512, true),
+              KernReturn::Success);
+    EXPECT_EQ(unix_vm.faults, 8u);
+    // Touching again faults nothing.
+    ASSERT_EQ(unix_vm.touch(*proc, addr, 8 * 512, true),
+              KernReturn::Success);
+    EXPECT_EQ(unix_vm.faults, 8u);
+    // Untouched addresses are invalid.
+    EXPECT_EQ(unix_vm.touch(*proc, addr + (1 << 20), 1, false),
+              KernReturn::InvalidAddress);
+    unix_vm.procDestroy(proc);
+}
+
+TEST(UnixVm, ForkCopiesEagerly)
+{
+    Machine machine(test::tinySpec(ArchType::Vax, 4));
+    UnixVm unix_vm(machine, 32);
+    UnixProc *parent = unix_vm.procCreate();
+
+    VmOffset addr = 0;
+    VmSize size = 64 * 512;
+    ASSERT_EQ(unix_vm.allocate(*parent, &addr, size),
+              KernReturn::Success);
+    auto data = test::pattern(size, 50);
+    ASSERT_EQ(unix_vm.procWrite(*parent, addr, data.data(), size),
+              KernReturn::Success);
+
+    SimTime t0 = machine.clock().now();
+    UnixProc *child = unix_vm.fork(*parent);
+    SimTime fork_time = machine.clock().now() - t0;
+
+    // The copy cost is physical: at least the raw copy bandwidth.
+    EXPECT_GE(fork_time, machine.spec.costs.copyCost(size));
+    EXPECT_EQ(unix_vm.forkPagesCopied, size / 512);
+
+    // Child has the data; writes don't leak either way.
+    std::vector<std::uint8_t> out(size);
+    ASSERT_EQ(unix_vm.procRead(*child, addr, out.data(), size),
+              KernReturn::Success);
+    EXPECT_EQ(out, data);
+
+    std::uint8_t z = 0xcc;
+    ASSERT_EQ(unix_vm.procWrite(*child, addr, &z, 1),
+              KernReturn::Success);
+    ASSERT_EQ(unix_vm.procRead(*parent, addr, out.data(), 1),
+              KernReturn::Success);
+    EXPECT_EQ(out[0], data[0]);
+
+    unix_vm.procDestroy(child);
+    unix_vm.procDestroy(parent);
+}
+
+TEST(UnixVm, ReadThroughBufferCacheDoubleCopies)
+{
+    Machine machine(test::tinySpec(ArchType::Vax, 8));
+    UnixVm unix_vm(machine, 128);  // 128 x 1K buffers
+    VmSize size = 100 << 10;       // 100 blocks: fits the cache
+    unix_vm.createPatternFile("file", size, 51);
+
+    std::vector<std::uint8_t> buf(size);
+    SimTime t0 = machine.clock().now();
+    EXPECT_EQ(unix_vm.read("file", 0, buf.data(), size), size);
+    SimTime first = machine.clock().now() - t0;
+    EXPECT_EQ(buf, test::pattern(size, 51));
+
+    // Second read fits in the buffer cache: no disk, but it still
+    // pays the user copy.
+    std::uint64_t disk_reads = unix_vm.getFs().getDisk().readOps();
+    t0 = machine.clock().now();
+    EXPECT_EQ(unix_vm.read("file", 0, buf.data(), size), size);
+    SimTime second = machine.clock().now() - t0;
+    EXPECT_EQ(unix_vm.getFs().getDisk().readOps(), disk_reads);
+    EXPECT_LT(second, first);
+    EXPECT_GE(second, machine.spec.costs.copyCost(size));
+}
+
+TEST(UnixVm, SmallBufferCacheThrashesOnBigFiles)
+{
+    // The 4.3bsd "generic" configuration problem: a file bigger
+    // than the cache misses on every pass.
+    Machine machine(test::tinySpec(ArchType::Vax, 8));
+    UnixVm unix_vm(machine, 16);  // 64KB of buffers
+    VmSize size = 512 << 10;      // 512KB file
+    unix_vm.createPatternFile("big", size, 52);
+
+    std::vector<std::uint8_t> buf(size);
+    unix_vm.read("big", 0, buf.data(), size);
+    std::uint64_t disk_reads = unix_vm.getFs().getDisk().readOps();
+    unix_vm.read("big", 0, buf.data(), size);
+    // Every block missed again.
+    EXPECT_GE(unix_vm.getFs().getDisk().readOps() - disk_reads,
+              size / SimFs::kBlockSize);
+}
+
+TEST(UnixVm, MachForkBeatsUnixForkOnSameMachine)
+{
+    // The fork 256K comparison from Table 7-1, in miniature: same
+    // machine, same cost model, two VM designs.
+    MachineSpec spec = test::tinySpec(ArchType::Vax, 8);
+    VmSize size = 64 << 10;
+
+    // UNIX side.
+    Machine um(spec);
+    UnixVm unix_vm(um, 32);
+    UnixProc *uproc = unix_vm.procCreate();
+    VmOffset uaddr = 0;
+    ASSERT_EQ(unix_vm.allocate(*uproc, &uaddr, size),
+              KernReturn::Success);
+    auto data = test::pattern(size, 53);
+    ASSERT_EQ(unix_vm.procWrite(*uproc, uaddr, data.data(), size),
+              KernReturn::Success);
+    SimTime t0 = um.clock().now();
+    unix_vm.fork(*uproc);
+    SimTime unix_fork = um.clock().now() - t0;
+
+    // Mach side.
+    Kernel kernel(spec);
+    Task *task = kernel.taskCreate();
+    VmOffset maddr = 0;
+    ASSERT_EQ(task->map().allocate(&maddr, size, true),
+              KernReturn::Success);
+    ASSERT_EQ(kernel.taskWrite(*task, maddr, data.data(), size),
+              KernReturn::Success);
+    t0 = kernel.now();
+    kernel.taskFork(*task);
+    SimTime mach_fork = kernel.now() - t0;
+
+    EXPECT_LT(mach_fork, unix_fork);
+}
+
+} // namespace
+} // namespace mach
