@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_map.dir/bench/bench_map.cc.o"
+  "CMakeFiles/bench_map.dir/bench/bench_map.cc.o.d"
+  "bench/bench_map"
+  "bench/bench_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pagesize.dir/bench/bench_pagesize.cc.o"
+  "CMakeFiles/bench_pagesize.dir/bench/bench_pagesize.cc.o.d"
+  "bench/bench_pagesize"
+  "bench/bench_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

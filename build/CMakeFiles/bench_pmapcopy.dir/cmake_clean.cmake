@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmapcopy.dir/bench/bench_pmapcopy.cc.o"
+  "CMakeFiles/bench_pmapcopy.dir/bench/bench_pmapcopy.cc.o.d"
+  "bench/bench_pmapcopy"
+  "bench/bench_pmapcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmapcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shadow.dir/bench/bench_shadow.cc.o"
+  "CMakeFiles/bench_shadow.dir/bench/bench_shadow.cc.o.d"
+  "bench/bench_shadow"
+  "bench/bench_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shootdown.dir/bench/bench_shootdown.cc.o"
+  "CMakeFiles/bench_shootdown.dir/bench/bench_shootdown.cc.o.d"
+  "bench/bench_shootdown"
+  "bench/bench_shootdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shootdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_pager.dir/external_pager.cpp.o"
+  "CMakeFiles/external_pager.dir/external_pager.cpp.o.d"
+  "external_pager"
+  "external_pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapped_files.dir/mapped_files.cpp.o"
+  "CMakeFiles/mapped_files.dir/mapped_files.cpp.o.d"
+  "mapped_files"
+  "mapped_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapped_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mapped_files.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocessor.dir/multiprocessor.cpp.o"
+  "CMakeFiles/multiprocessor.dir/multiprocessor.cpp.o.d"
+  "multiprocessor"
+  "multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_memory.dir/network_memory.cpp.o"
+  "CMakeFiles/network_memory.dir/network_memory.cpp.o.d"
+  "network_memory"
+  "network_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

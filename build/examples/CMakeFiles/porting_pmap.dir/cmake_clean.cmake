@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_pmap.dir/porting_pmap.cpp.o"
+  "CMakeFiles/porting_pmap.dir/porting_pmap.cpp.o.d"
+  "porting_pmap"
+  "porting_pmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_pmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

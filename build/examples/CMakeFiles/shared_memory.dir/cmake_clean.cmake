@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory.dir/shared_memory.cpp.o"
+  "CMakeFiles/shared_memory.dir/shared_memory.cpp.o.d"
+  "shared_memory"
+  "shared_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/machvm.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/machvm.dir/base/logging.cc.o.d"
+  "/root/repo/src/fs/buffer_cache.cc" "src/CMakeFiles/machvm.dir/fs/buffer_cache.cc.o" "gcc" "src/CMakeFiles/machvm.dir/fs/buffer_cache.cc.o.d"
+  "/root/repo/src/fs/simfs.cc" "src/CMakeFiles/machvm.dir/fs/simfs.cc.o" "gcc" "src/CMakeFiles/machvm.dir/fs/simfs.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/CMakeFiles/machvm.dir/hw/machine.cc.o" "gcc" "src/CMakeFiles/machvm.dir/hw/machine.cc.o.d"
+  "/root/repo/src/hw/machine_spec.cc" "src/CMakeFiles/machvm.dir/hw/machine_spec.cc.o" "gcc" "src/CMakeFiles/machvm.dir/hw/machine_spec.cc.o.d"
+  "/root/repo/src/hw/phys_memory.cc" "src/CMakeFiles/machvm.dir/hw/phys_memory.cc.o" "gcc" "src/CMakeFiles/machvm.dir/hw/phys_memory.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/CMakeFiles/machvm.dir/hw/tlb.cc.o" "gcc" "src/CMakeFiles/machvm.dir/hw/tlb.cc.o.d"
+  "/root/repo/src/ipc/message.cc" "src/CMakeFiles/machvm.dir/ipc/message.cc.o" "gcc" "src/CMakeFiles/machvm.dir/ipc/message.cc.o.d"
+  "/root/repo/src/ipc/port.cc" "src/CMakeFiles/machvm.dir/ipc/port.cc.o" "gcc" "src/CMakeFiles/machvm.dir/ipc/port.cc.o.d"
+  "/root/repo/src/kern/kernel.cc" "src/CMakeFiles/machvm.dir/kern/kernel.cc.o" "gcc" "src/CMakeFiles/machvm.dir/kern/kernel.cc.o.d"
+  "/root/repo/src/kern/task.cc" "src/CMakeFiles/machvm.dir/kern/task.cc.o" "gcc" "src/CMakeFiles/machvm.dir/kern/task.cc.o.d"
+  "/root/repo/src/kern/thread.cc" "src/CMakeFiles/machvm.dir/kern/thread.cc.o" "gcc" "src/CMakeFiles/machvm.dir/kern/thread.cc.o.d"
+  "/root/repo/src/pager/default_pager.cc" "src/CMakeFiles/machvm.dir/pager/default_pager.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pager/default_pager.cc.o.d"
+  "/root/repo/src/pager/external_pager.cc" "src/CMakeFiles/machvm.dir/pager/external_pager.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pager/external_pager.cc.o.d"
+  "/root/repo/src/pager/net_pager.cc" "src/CMakeFiles/machvm.dir/pager/net_pager.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pager/net_pager.cc.o.d"
+  "/root/repo/src/pager/vnode_pager.cc" "src/CMakeFiles/machvm.dir/pager/vnode_pager.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pager/vnode_pager.cc.o.d"
+  "/root/repo/src/pmap/ns32082_pmap.cc" "src/CMakeFiles/machvm.dir/pmap/ns32082_pmap.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/ns32082_pmap.cc.o.d"
+  "/root/repo/src/pmap/pmap.cc" "src/CMakeFiles/machvm.dir/pmap/pmap.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/pmap.cc.o.d"
+  "/root/repo/src/pmap/pv_table.cc" "src/CMakeFiles/machvm.dir/pmap/pv_table.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/pv_table.cc.o.d"
+  "/root/repo/src/pmap/rt_pmap.cc" "src/CMakeFiles/machvm.dir/pmap/rt_pmap.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/rt_pmap.cc.o.d"
+  "/root/repo/src/pmap/sun3_pmap.cc" "src/CMakeFiles/machvm.dir/pmap/sun3_pmap.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/sun3_pmap.cc.o.d"
+  "/root/repo/src/pmap/tlbsoft_pmap.cc" "src/CMakeFiles/machvm.dir/pmap/tlbsoft_pmap.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/tlbsoft_pmap.cc.o.d"
+  "/root/repo/src/pmap/vax_pmap.cc" "src/CMakeFiles/machvm.dir/pmap/vax_pmap.cc.o" "gcc" "src/CMakeFiles/machvm.dir/pmap/vax_pmap.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/machvm.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/machvm.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/sim_clock.cc" "src/CMakeFiles/machvm.dir/sim/sim_clock.cc.o" "gcc" "src/CMakeFiles/machvm.dir/sim/sim_clock.cc.o.d"
+  "/root/repo/src/sim/sim_disk.cc" "src/CMakeFiles/machvm.dir/sim/sim_disk.cc.o" "gcc" "src/CMakeFiles/machvm.dir/sim/sim_disk.cc.o.d"
+  "/root/repo/src/unix/unix_vm.cc" "src/CMakeFiles/machvm.dir/unix/unix_vm.cc.o" "gcc" "src/CMakeFiles/machvm.dir/unix/unix_vm.cc.o.d"
+  "/root/repo/src/vm/vm_fault.cc" "src/CMakeFiles/machvm.dir/vm/vm_fault.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_fault.cc.o.d"
+  "/root/repo/src/vm/vm_map.cc" "src/CMakeFiles/machvm.dir/vm/vm_map.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_map.cc.o.d"
+  "/root/repo/src/vm/vm_object.cc" "src/CMakeFiles/machvm.dir/vm/vm_object.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_object.cc.o.d"
+  "/root/repo/src/vm/vm_page.cc" "src/CMakeFiles/machvm.dir/vm/vm_page.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_page.cc.o.d"
+  "/root/repo/src/vm/vm_pageout.cc" "src/CMakeFiles/machvm.dir/vm/vm_pageout.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_pageout.cc.o.d"
+  "/root/repo/src/vm/vm_sys.cc" "src/CMakeFiles/machvm.dir/vm/vm_sys.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_sys.cc.o.d"
+  "/root/repo/src/vm/vm_user.cc" "src/CMakeFiles/machvm.dir/vm/vm_user.cc.o" "gcc" "src/CMakeFiles/machvm.dir/vm/vm_user.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_pager_test.dir/external_pager_test.cc.o"
+  "CMakeFiles/external_pager_test.dir/external_pager_test.cc.o.d"
+  "external_pager_test"
+  "external_pager_test.pdb"
+  "external_pager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

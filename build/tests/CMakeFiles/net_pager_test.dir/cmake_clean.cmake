@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pager_test.dir/net_pager_test.cc.o"
+  "CMakeFiles/net_pager_test.dir/net_pager_test.cc.o.d"
+  "net_pager_test"
+  "net_pager_test.pdb"
+  "net_pager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

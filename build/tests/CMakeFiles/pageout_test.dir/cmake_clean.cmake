@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pageout_test.dir/pageout_test.cc.o"
+  "CMakeFiles/pageout_test.dir/pageout_test.cc.o.d"
+  "pageout_test"
+  "pageout_test.pdb"
+  "pageout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pageout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

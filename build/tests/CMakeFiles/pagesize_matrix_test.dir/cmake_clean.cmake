@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesize_matrix_test.dir/pagesize_matrix_test.cc.o"
+  "CMakeFiles/pagesize_matrix_test.dir/pagesize_matrix_test.cc.o.d"
+  "pagesize_matrix_test"
+  "pagesize_matrix_test.pdb"
+  "pagesize_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesize_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paging_chain_test.dir/paging_chain_test.cc.o"
+  "CMakeFiles/paging_chain_test.dir/paging_chain_test.cc.o.d"
+  "paging_chain_test"
+  "paging_chain_test.pdb"
+  "paging_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paging_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmap_conformance_test.dir/pmap_conformance_test.cc.o"
+  "CMakeFiles/pmap_conformance_test.dir/pmap_conformance_test.cc.o.d"
+  "pmap_conformance_test"
+  "pmap_conformance_test.pdb"
+  "pmap_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmap_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

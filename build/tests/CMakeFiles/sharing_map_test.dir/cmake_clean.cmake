@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_map_test.dir/sharing_map_test.cc.o"
+  "CMakeFiles/sharing_map_test.dir/sharing_map_test.cc.o.d"
+  "sharing_map_test"
+  "sharing_map_test.pdb"
+  "sharing_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unix_test.dir/unix_test.cc.o"
+  "CMakeFiles/unix_test.dir/unix_test.cc.o.d"
+  "unix_test"
+  "unix_test.pdb"
+  "unix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

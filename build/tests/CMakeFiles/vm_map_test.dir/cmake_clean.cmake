@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_map_test.dir/vm_map_test.cc.o"
+  "CMakeFiles/vm_map_test.dir/vm_map_test.cc.o.d"
+  "vm_map_test"
+  "vm_map_test.pdb"
+  "vm_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

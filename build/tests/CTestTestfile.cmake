@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/pmap_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_map_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_object_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/pageout_test[1]_include.cmake")
+include("/root/repo/build/tests/file_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/external_pager_test[1]_include.cmake")
+include("/root/repo/build/tests/unix_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/shootdown_test[1]_include.cmake")
+include("/root/repo/build/tests/property_map_test[1]_include.cmake")
+include("/root/repo/build/tests/property_data_test[1]_include.cmake")
+include("/root/repo/build/tests/property_pmap_test[1]_include.cmake")
+include("/root/repo/build/tests/net_pager_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_test[1]_include.cmake")
+include("/root/repo/build/tests/pagesize_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/paging_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/shape_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/sharing_map_test[1]_include.cmake")
