@@ -15,6 +15,11 @@
  * The first two are enforced here: asking this module to map beyond
  * either limit is a hard error, so the machine-independent layer's
  * allocation limits are what keep the system inside them.
+ *
+ * Shootdown coalescing (PmapBatch) is inherited unchanged from
+ * LinearPmapSystem: this module's removeAll/copyOnWrite batch their
+ * per-sharer flushes, which matters most here since the MultiMax and
+ * Balance are the multiprocessor configurations of the evaluation.
  */
 
 #ifndef MACH_PMAP_NS32082_PMAP_HH

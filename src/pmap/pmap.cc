@@ -122,7 +122,13 @@ PmapSystem::destroy(Pmap *pmap)
     MACH_ASSERT(pmap->cpusUsing().none());
     // Remove every mapping so shared structures (inverted tables,
     // PMEG pools) are released.
-    pmap->remove(0, machine.spec.effectiveVaLimit());
+    {
+        PmapBatch batch(*this);
+        pmap->remove(0, machine.spec.effectiveVaLimit());
+    }
+    // If an enclosing batch is still open its pending ranges may
+    // reference the dying pmap; flush those before it goes away.
+    drainBatched(*pmap);
     auto it = std::find_if(allPmaps.begin(), allPmaps.end(),
                            [&](const auto &p) { return p.get() == pmap; });
     MACH_ASSERT(it != allPmaps.end());
@@ -214,9 +220,88 @@ PmapSystem::setReferencedAttr(PhysAddr pa)
         attrs[f].referenced = true;
 }
 
+namespace
+{
+
+/** Ranges at most this many hardware pages flush entry-by-entry. */
+constexpr VmSize kByPageFlushPages = 8;
+
+/** One TLB tag plus the merged ranges to flush under it. */
+struct TagFlush
+{
+    const void *tag;
+    std::vector<PmapFlushRange> ranges;
+};
+
+/**
+ * Sort and merge adjacent/overlapping ranges in place; returns the
+ * number of ranges eliminated by merging.
+ */
+std::size_t
+mergeRanges(std::vector<PmapFlushRange> &ranges)
+{
+    std::sort(ranges.begin(), ranges.end(),
+              [](const PmapFlushRange &a, const PmapFlushRange &b) {
+                  return a.start < b.start;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+        if (ranges[i].start <= ranges[out].end) {
+            ranges[out].end = std::max(ranges[out].end, ranges[i].end);
+        } else {
+            ranges[++out] = ranges[i];
+        }
+    }
+    std::size_t eliminated = ranges.empty() ? 0 : ranges.size() - (out + 1);
+    if (!ranges.empty())
+        ranges.resize(out + 1);
+    return eliminated;
+}
+
+/**
+ * Build the per-CPU flush function for a coalesced command list.
+ * Small ranges flush entry-by-entry; any large range flushes the
+ * whole tag, after which that tag's remaining ranges are moot.
+ */
+std::function<void(Cpu &)>
+makeBatchFlushFn(std::vector<TagFlush> cmds, VmSize hw, unsigned shift)
+{
+    return [cmds = std::move(cmds), hw, shift](Cpu &c) {
+        for (const auto &cmd : cmds) {
+            for (const auto &r : cmd.ranges) {
+                if ((r.end - r.start) / hw <= kByPageFlushPages) {
+                    for (VmOffset va = truncTo(r.start, hw); va < r.end;
+                         va += hw)
+                        c.tlb.flushPage(cmd.tag, va >> shift);
+                } else {
+                    c.tlb.flushTag(cmd.tag);
+                    break;
+                }
+            }
+        }
+    };
+}
+
+} // namespace
+
 void
 PmapSystem::shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
                            ShootdownMode mode)
+{
+    if (batching() && coalesceShootdowns) {
+        // Record the range; the batch close issues one merged round
+        // honoring the strictest mode seen.
+        ++shootdownsCoalesced;
+        batchMode = stricterMode(mode, batchMode);
+        batchPending[&pmap].push_back({start, end});
+        return;
+    }
+    shootdownNow(pmap, start, end, mode);
+}
+
+void
+PmapSystem::shootdownNow(Pmap &pmap, VmOffset start, VmOffset end,
+                         ShootdownMode mode)
 {
     if (mode == ShootdownMode::Lazy) {
         // Section 5.2 case 3: the semantics of the operation permit
@@ -226,19 +311,10 @@ PmapSystem::shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
     }
 
     const void *tag = pmap.tlbTag();
-    std::bitset<kMaxCpus> targets = pmap.cpusUsing();
-    if (pmap.kernel() || machine.spec.tlbTaggedByContext) {
-        // Kernel mappings are live on every CPU; and on hardware
-        // whose translation cache is tagged by context (SUN 3), a
-        // deactivated map's entries survive context switches, so
-        // every CPU may hold them.
-        for (unsigned i = 0; i < machine.numCpus(); ++i)
-            targets.set(i);
-    }
 
     // Flushing page-by-page only pays for small ranges.
     VmSize hw = hwPageSize();
-    bool byPage = (end - start) / hw <= 8;
+    bool byPage = (end - start) / hw <= kByPageFlushPages;
 
     auto flushCpu = [this, tag, start, end, byPage, hw](Cpu &c) {
         if (byPage) {
@@ -248,6 +324,31 @@ PmapSystem::shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
             c.tlb.flushTag(tag);
         }
     };
+
+    dispatchFlush(flushTargets(pmap), flushCpu, mode, false);
+}
+
+std::bitset<kMaxCpus>
+PmapSystem::flushTargets(const Pmap &pmap) const
+{
+    std::bitset<kMaxCpus> targets = pmap.cpusUsing();
+    if (pmap.kernel() || machine.spec.tlbTaggedByContext) {
+        // Kernel mappings are live on every CPU; and on hardware
+        // whose translation cache is tagged by context (SUN 3), a
+        // deactivated map's entries survive context switches, so
+        // every CPU may hold them.
+        for (unsigned i = 0; i < machine.numCpus(); ++i)
+            targets.set(i);
+    }
+    return targets;
+}
+
+void
+PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
+                          const std::function<void(Cpu &)> &flushCpu,
+                          ShootdownMode mode, bool batched)
+{
+    MACH_ASSERT(mode != ShootdownMode::Lazy);
 
     if (mode == ShootdownMode::Deferred) {
         // Section 5.2 case 2: queue the flush; the caller must not
@@ -271,9 +372,89 @@ PmapSystem::shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
             flushCpu(machine.cpu(i));
         } else {
             ++shootdownIpis;
+            if (batched)
+                ++batchedIpis;
             machine.ipi(i, flushCpu);
         }
     }
+}
+
+void
+PmapSystem::openBatch()
+{
+    if (batchDepth++ == 0) {
+        batchMode = ShootdownMode::Lazy;
+        batchPending.clear();
+    }
+}
+
+void
+PmapSystem::closeBatch()
+{
+    MACH_ASSERT(batchDepth > 0);
+    if (--batchDepth == 0)
+        flushBatch();
+}
+
+void
+PmapSystem::flushBatch()
+{
+    auto pending = std::move(batchPending);
+    batchPending.clear();
+    ShootdownMode mode = batchMode;
+    batchMode = ShootdownMode::Lazy;
+
+    if (pending.empty())
+        return;
+    if (mode == ShootdownMode::Lazy) {
+        // Every shootdown in the batch permitted inconsistency.
+        ++lazySkips;
+        return;
+    }
+
+    std::bitset<kMaxCpus> targets;
+    std::vector<TagFlush> cmds;
+    cmds.reserve(pending.size());
+    std::size_t rangesOut = 0;
+    for (auto &[pmap, ranges] : pending) {
+        batchRangesMerged += mergeRanges(ranges);
+        rangesOut += ranges.size();
+        targets |= flushTargets(*pmap);
+        cmds.push_back({pmap->tlbTag(), std::move(ranges)});
+    }
+
+    ++batchFlushes;
+    chargePmap(SimTime(rangesOut) * machine.spec.costs.shootdownPerRange);
+    dispatchFlush(targets,
+                  makeBatchFlushFn(std::move(cmds), hwPageSize(),
+                                   machine.spec.hwPageShift),
+                  mode, true);
+}
+
+void
+PmapSystem::drainBatched(Pmap &pmap)
+{
+    auto it = batchPending.find(&pmap);
+    if (it == batchPending.end())
+        return;
+    auto ranges = std::move(it->second);
+    batchPending.erase(it);
+
+    if (batchMode == ShootdownMode::Lazy) {
+        ++lazySkips;
+        return;
+    }
+
+    batchRangesMerged += mergeRanges(ranges);
+    chargePmap(SimTime(ranges.size()) *
+               machine.spec.costs.shootdownPerRange);
+    std::vector<TagFlush> cmds;
+    cmds.push_back({pmap.tlbTag(), std::move(ranges)});
+    ++batchFlushes;
+    dispatchFlush(flushTargets(pmap),
+                  makeBatchFlushFn(std::move(cmds), hwPageSize(),
+                                   machine.spec.hwPageShift),
+                  batchMode, true);
 }
 
 void

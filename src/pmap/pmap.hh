@@ -27,6 +27,7 @@
 
 #include <bitset>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -63,6 +64,20 @@ struct ShootdownPolicy
     ShootdownMode protect = ShootdownMode::Immediate;
     /** Used by pmap_remove_all on the pageout path. */
     ShootdownMode pageout = ShootdownMode::Deferred;
+};
+
+/** The stricter (lower-numbered) of two shootdown modes. */
+constexpr ShootdownMode
+stricterMode(ShootdownMode a, ShootdownMode b)
+{
+    return static_cast<unsigned>(a) < static_cast<unsigned>(b) ? a : b;
+}
+
+/** One contiguous virtual range awaiting a coalesced TLB flush. */
+struct PmapFlushRange
+{
+    VmOffset start = 0;
+    VmOffset end = 0;
 };
 
 /**
@@ -275,6 +290,32 @@ class PmapSystem
     ShootdownPolicy policy;
 
     /**
+     * @name Shootdown batching (section 5.2, "the expense of
+     * invalidation can often be amortized over many pages")
+     *
+     * While a batch is open (see PmapBatch), removeAll / copyOnWrite
+     * / remove and friends update page tables and PV state
+     * immediately but accumulate the affected (pmap, va-range) set
+     * instead of flushing per page.  Batch close merges adjacent and
+     * overlapping ranges per pmap, unions the target-CPU sets, and
+     * issues one flush round — at most one IPI per target CPU —
+     * honoring the strictest ShootdownMode seen inside the batch.
+     * @{
+     */
+    /** Open a (nestable) coalescing scope; prefer PmapBatch. */
+    void openBatch();
+    /** Close the scope; the outermost close issues the flush. */
+    void closeBatch();
+    /** True while any batch scope is open. */
+    bool batching() const { return batchDepth > 0; }
+    /**
+     * Ablation switch: when false, batch guards are inert and every
+     * shootdown goes out per call, as the unbatched system did.
+     */
+    bool coalesceShootdowns = true;
+    /** @} */
+
+    /**
      * Use the optional pmap_copy (Table 3-4) at fork: pre-seed the
      * child's map with read-only copies of the parent's mappings,
      * trading pmap work now for avoided read faults later.  Off by
@@ -287,6 +328,10 @@ class PmapSystem
     std::uint64_t shootdownIpis = 0;   //!< IPIs sent for consistency
     std::uint64_t deferredFlushes = 0; //!< flushes queued to tick
     std::uint64_t lazySkips = 0;       //!< flushes skipped (case 3)
+    std::uint64_t shootdownsCoalesced = 0; //!< flushes absorbed by a batch
+    std::uint64_t batchedIpis = 0;     //!< IPIs sent by batch closes
+    std::uint64_t batchRangesMerged = 0; //!< ranges merged away at close
+    std::uint64_t batchFlushes = 0;    //!< coalesced flush rounds issued
     std::uint64_t aliasEvictions = 0;  //!< RT PC one-mapping conflicts
     std::uint64_t contextSteals = 0;   //!< SUN 3 context replacement
     std::uint64_t pmegSteals = 0;      //!< SUN 3 page-map-group steals
@@ -332,6 +377,56 @@ class PmapSystem
     {
         return pa >> machine.spec.hwPageShift;
     }
+
+  private:
+    /** The unbatched flush path (the pre-coalescing behavior). */
+    void shootdownNow(Pmap &pmap, VmOffset start, VmOffset end,
+                      ShootdownMode mode);
+
+    /** Issue everything the open batch accumulated in one round. */
+    void flushBatch();
+
+    /**
+     * Flush (immediately) and forget @p pmap's pending batched
+     * ranges; must run before a pmap dies inside an open batch.
+     */
+    void drainBatched(Pmap &pmap);
+
+    /** CPUs whose TLBs may hold entries of @p pmap. */
+    std::bitset<kMaxCpus> flushTargets(const Pmap &pmap) const;
+
+    /**
+     * Run @p flushCpu on every CPU in @p targets per @p mode:
+     * immediately (local call or one IPI per remote CPU) or queued
+     * to the next timer tick.  @p mode must not be Lazy.
+     */
+    void dispatchFlush(const std::bitset<kMaxCpus> &targets,
+                       const std::function<void(Cpu &)> &flushCpu,
+                       ShootdownMode mode, bool batched);
+
+    unsigned batchDepth = 0;
+    /** Strictest mode seen inside the open batch. */
+    ShootdownMode batchMode = ShootdownMode::Lazy;
+    std::unordered_map<Pmap *, std::vector<PmapFlushRange>> batchPending;
+};
+
+/**
+ * RAII guard opening a shootdown-coalescing scope (nestable).
+ * Machine-independent callers wrap loops of physical-page-indexed
+ * pmap operations in one of these; the destructor of the outermost
+ * guard issues the single merged flush round.
+ */
+class PmapBatch
+{
+  public:
+    explicit PmapBatch(PmapSystem &sys) : sys(sys) { sys.openBatch(); }
+    ~PmapBatch() { sys.closeBatch(); }
+
+    PmapBatch(const PmapBatch &) = delete;
+    PmapBatch &operator=(const PmapBatch &) = delete;
+
+  private:
+    PmapSystem &sys;
 };
 
 } // namespace mach

@@ -15,6 +15,8 @@ PvTable::add(FrameNum frame, Pmap *pmap, VmOffset va)
         if (e.pmap == pmap && e.va == va)
             return;  // already recorded
     }
+    if (vec.empty())
+        vec.reserve(4);  // most frames have few sharers
     vec.push_back({pmap, va});
 }
 

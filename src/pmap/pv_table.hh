@@ -46,6 +46,22 @@ class PvTable
      */
     std::vector<PvEntry> mappings(FrameNum frame) const;
 
+    /**
+     * Visit each mapping of @p frame without copying the chain.
+     * Only for read-only walkers: @p fn must not add or remove
+     * entries for @p frame (use mappings() for mutating loops).
+     */
+    template <typename Fn>
+    void
+    forEach(FrameNum frame, Fn &&fn) const
+    {
+        auto it = table.find(frame);
+        if (it == table.end())
+            return;
+        for (const PvEntry &e : it->second)
+            fn(e);
+    }
+
     /** True if @p frame has no recorded mappings. */
     bool empty(FrameNum frame) const;
 

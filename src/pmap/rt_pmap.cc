@@ -174,6 +174,8 @@ void
 RtPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 {
     VmSize hw = machine.spec.hwPageSize();
+    // One flush round for all of the page's hardware frames.
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> machine.spec.hwPageShift;
         if (ipt[frame].valid) {
@@ -187,6 +189,7 @@ void
 RtPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
 {
     VmSize hw = machine.spec.hwPageSize();
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> machine.spec.hwPageShift;
         IptEntry &e = ipt[frame];

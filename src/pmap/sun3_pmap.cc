@@ -319,8 +319,11 @@ Sun3PmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
+    // Coalesce the per-sharer flushes into one round.
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
+        // mappings() snapshots: the loop edits the PV chain.
         for (const PvEntry &e : pv.mappings(frame)) {
             auto *sp = static_cast<Sun3Pmap *>(e.pmap);
             auto it = sp->segmap.find(segBaseOf(e.va));
@@ -348,9 +351,10 @@ Sun3PmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
-        for (const PvEntry &e : pv.mappings(frame)) {
+        pv.forEach(frame, [&](const PvEntry &e) {
             auto *sp = static_cast<Sun3Pmap *>(e.pmap);
             auto it = sp->segmap.find(segBaseOf(e.va));
             MACH_ASSERT(it != sp->segmap.end());
@@ -361,7 +365,7 @@ Sun3PmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
             pte.prot &= ~VmProt::Write;
             chargePmap(spec.costs.pmapProtectPerPage);
             shootdownRange(*sp, e.va, e.va + hw, mode);
-        }
+        });
     }
 }
 

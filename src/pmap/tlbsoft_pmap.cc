@@ -142,8 +142,11 @@ TlbSoftPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
+    // Coalesce the per-sharer flushes into one round.
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
+        // mappings() snapshots: the loop edits the PV chain.
         for (const PvEntry &e : pv.mappings(frame)) {
             auto *tp = static_cast<TlbSoftPmap *>(e.pmap);
             auto it = tp->dict.find(e.va >> spec.hwPageShift);
@@ -162,16 +165,17 @@ TlbSoftPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
-        for (const PvEntry &e : pv.mappings(frame)) {
+        pv.forEach(frame, [&](const PvEntry &e) {
             auto *tp = static_cast<TlbSoftPmap *>(e.pmap);
             auto it = tp->dict.find(e.va >> spec.hwPageShift);
             MACH_ASSERT(it != tp->dict.end());
             it->second.prot &= ~VmProt::Write;
             chargePmap(spec.costs.pmapProtectPerPage);
             shootdownRange(*tp, e.va, e.va + hw, mode);
-        }
+        });
     }
 }
 

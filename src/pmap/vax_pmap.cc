@@ -259,8 +259,12 @@ LinearPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
+    // Coalesce the per-sharer flushes into one round even when the
+    // caller did not open a batch of its own.
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
+        // mappings() snapshots: invalidatePte edits the PV chain.
         for (const PvEntry &e : pvTable.mappings(frame)) {
             auto *lp = static_cast<LinearPmap *>(e.pmap);
             LinearPmap::Pte *pte = lp->lookupPte(e.va);
@@ -279,16 +283,17 @@ LinearPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
+    PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
-        for (const PvEntry &e : pvTable.mappings(frame)) {
+        pvTable.forEach(frame, [&](const PvEntry &e) {
             auto *lp = static_cast<LinearPmap *>(e.pmap);
             LinearPmap::Pte *pte = lp->lookupPte(e.va);
             MACH_ASSERT(pte && pte->valid);
             pte->prot &= ~VmProt::Write;
             chargePmap(spec.costs.pmapProtectPerPage);
             shootdownRange(*lp, e.va, e.va + hw, mode);
-        }
+        });
     }
 }
 

@@ -52,6 +52,8 @@ struct CostModel
     SimTime ipi = 60000;          //!< deliver one inter-processor intr
     SimTime contextLoad = 10000;  //!< activate a pmap on a CPU
     SimTime contextSteal = 80000; //!< evict a hardware context (SUN 3)
+    /** Package one merged range into a coalesced shootdown list. */
+    SimTime shootdownPerRange = 1000;
     /** @} */
 
     /** @name Process-level fixed costs @{ */

@@ -219,6 +219,10 @@ VmMap::deallocate(VmOffset start, VmSize size)
     Iter it = entries.begin();
     while (it != entries.end() && it->end <= start)
         ++it;
+    // One coalesced shootdown round covers every entry removed; the
+    // batch closes (flushing) before control returns to anything
+    // that could reallocate the freed frames.
+    PmapBatch batch(sys.pmaps);
     while (it != entries.end() && it->start < end) {
         clipStart(it, start);
         clipEnd(it, end);
@@ -320,6 +324,7 @@ VmMap::protect(VmOffset start, VmSize size, bool set_max, VmProt new_prot)
                 hw = hw & ~VmProt::Write;
             pmap->protect(it->start, it->end, hw);
         } else if (it->object) {
+            PmapBatch batch(sys.pmaps);
             for (VmOffset va = it->start; va < it->end;
                  va += sys.pageSize()) {
                 VmOffset off = it->offset + (va - it->start);
@@ -387,6 +392,9 @@ VmMap::protectForCopy(VmMapEntry &entry)
         if (p->offset >= lo && p->offset < hi)
             snapshot.push_back(p);
     }
+    // One coalesced round write-protects the whole entry — the fork
+    // / vm_copy hot path of Table 7-1.
+    PmapBatch batch(sys.pmaps);
     for (VmPage *p : snapshot)
         sys.pmaps.copyOnWrite(p->physAddr);
 }

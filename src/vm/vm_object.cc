@@ -98,9 +98,15 @@ VmObject::terminate()
 void
 VmObject::destroyPages()
 {
+    // Drop all hardware mappings first, in one coalesced shootdown
+    // round.  The batch closes — the flush lands — before any frame
+    // below is freed, preserving the flush-before-reuse invariant.
+    {
+        PmapBatch batch(sys.pmaps);
+        for (VmPage *page : pages)
+            sys.pmaps.removeAll(page->physAddr, ShootdownMode::Immediate);
+    }
     while (VmPage *page = pages.front()) {
-        // Drop any hardware mappings before the frame is reused.
-        sys.pmaps.removeAll(page->physAddr, ShootdownMode::Immediate);
         // Permanent (file-backed) data must reach its pager before
         // the frame goes away.
         if (pager && !temporary &&
@@ -178,16 +184,21 @@ VmObject::collapse()
             snapshot.reserve(backing->residentCount);
             for (VmPage *p : backing->pages)
                 snapshot.push_back(p);
-            for (VmPage *p : snapshot) {
-                bool useful = p->offset >= object->shadowOffset &&
-                    p->offset - object->shadowOffset < object->size;
-                VmOffset new_off = p->offset - object->shadowOffset;
-                if (useful && !object->pageAt(new_off)) {
-                    sys.resident.rename(p, object, new_off);
-                } else {
-                    sys.pmaps.removeAll(p->physAddr,
-                                        ShootdownMode::Immediate);
-                    sys.resident.free(p);
+            {
+                // Coalesce the invisible pages' shootdowns; closed
+                // before the splice so flushes precede frame reuse.
+                PmapBatch batch(sys.pmaps);
+                for (VmPage *p : snapshot) {
+                    bool useful = p->offset >= object->shadowOffset &&
+                        p->offset - object->shadowOffset < object->size;
+                    VmOffset new_off = p->offset - object->shadowOffset;
+                    if (useful && !object->pageAt(new_off)) {
+                        sys.resident.rename(p, object, new_off);
+                    } else {
+                        sys.pmaps.removeAll(p->physAddr,
+                                            ShootdownMode::Immediate);
+                        sys.resident.free(p);
+                    }
                 }
             }
             object->shadow = backing->shadow;  // adopt its reference

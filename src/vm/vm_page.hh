@@ -90,6 +90,16 @@ struct VmStatistics
     std::uint64_t objectsCached = 0; //!< cache hits on named objects
     std::uint64_t objectCollapses = 0;
     std::uint64_t objectBypasses = 0;
+
+    /** @name TLB shootdown counters (pmap layer, section 5.2) @{ */
+    std::uint64_t shootdownIpis = 0;   //!< IPIs sent for consistency
+    std::uint64_t deferredFlushes = 0; //!< flushes queued to tick
+    std::uint64_t lazySkips = 0;       //!< flushes skipped (case 3)
+    std::uint64_t shootdownsCoalesced = 0; //!< absorbed by a batch
+    std::uint64_t batchedIpis = 0;     //!< IPIs sent by batch closes
+    std::uint64_t batchRangesMerged = 0; //!< ranges merged at close
+    std::uint64_t batchFlushes = 0;    //!< coalesced flush rounds
+    /** @} */
 };
 
 /**

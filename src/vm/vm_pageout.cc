@@ -41,13 +41,20 @@ VmSys::pageoutScan()
             resident.activeCount() + resident.inactiveCount();
         std::size_t inactive_target =
             std::max<std::size_t>(freeTarget, pool / 3);
-        while (resident.inactiveCount() < inactive_target) {
-            VmPage *p = resident.firstActive();
-            if (!p)
-                break;
-            pmaps.clearReference(p->physAddr, pmaps.policy.pageout);
-            p->deactTick = machine.tickCount();
-            resident.deactivate(p);
+        {
+            // One coalesced flush round covers the whole stocking
+            // sweep; the batch closes (queueing the deferred flush)
+            // before the tick-waiting below, so the flush still lands
+            // at the first tick after deactivation.
+            PmapBatch batch(pmaps);
+            while (resident.inactiveCount() < inactive_target) {
+                VmPage *p = resident.firstActive();
+                if (!p)
+                    break;
+                pmaps.clearReference(p->physAddr, pmaps.policy.pageout);
+                p->deactTick = machine.tickCount();
+                resident.deactivate(p);
+            }
         }
 
         VmPage *p = resident.firstInactive();

@@ -103,6 +103,13 @@ VmSys::statistics() const
 {
     VmStatistics st = stats;
     resident.fillStatistics(st);
+    st.shootdownIpis = pmaps.shootdownIpis;
+    st.deferredFlushes = pmaps.deferredFlushes;
+    st.lazySkips = pmaps.lazySkips;
+    st.shootdownsCoalesced = pmaps.shootdownsCoalesced;
+    st.batchedIpis = pmaps.batchedIpis;
+    st.batchRangesMerged = pmaps.batchRangesMerged;
+    st.batchFlushes = pmaps.batchFlushes;
     return st;
 }
 
