@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 #include "pmap/rt_pmap.hh"
@@ -118,10 +119,11 @@ normalMix(const MachineSpec &spec)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_ipt", argc, argv);
 
     std::printf("Ablation C: inverted-page-table aliasing "
                 "(section 5.1)\n\n");
@@ -139,6 +141,15 @@ main()
                         (unsigned long long)r.faults,
                         (unsigned long long)r.aliasEvictions,
                         bench::ms(r.time).c_str());
+            std::string tag = std::to_string(tasks) + "tasks";
+            report.add(archTypeName(spec.arch),
+                       "share_faults_" + tag, double(r.faults),
+                       "count");
+            report.add(archTypeName(spec.arch),
+                       "share_evictions_" + tag,
+                       double(r.aliasEvictions), "count");
+            report.add(archTypeName(spec.arch), "share_time_" + tag,
+                       double(r.time), "ns");
         }
     }
 
@@ -147,12 +158,15 @@ main()
     for (auto arch : {MachineSpec::rtPc(), MachineSpec::microVax2()}) {
         MachineSpec spec = arch;
         spec.physMemBytes = 8ull << 20;
+        SimTime mix = normalMix(spec);
         std::printf("  %-10s %12s\n", archTypeName(spec.arch),
-                    bench::ms(normalMix(spec)).c_str());
+                    bench::ms(mix).c_str());
+        report.add(archTypeName(spec.arch), "normal_mix", double(mix),
+                   "ns");
     }
     std::printf("\nSharing ping-pongs the single RT mapping (one "
                 "fault per switch)\nwhile the VAX shares freely; in "
                 "a realistic mix the extra faults\nare noise, as the "
                 "paper observed.\n");
-    return 0;
+    return report.finish();
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "hw/machine.hh"
 #include "pmap/pmap.hh"
@@ -88,10 +89,11 @@ sequentialPass(Fixture &f, unsigned entries, bool hint)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_map", argc, argv);
 
     std::printf("Ablation B: address map lookup hint (section 3.2)\n");
     std::printf("%-10s %16s %16s %12s\n", "entries", "hint on",
@@ -108,10 +110,16 @@ main()
         std::printf("%-10u %13.1fus %13.1fus %11.0f%%\n", n,
                     double(with) / 1e3, double(without) / 1e3,
                     rate * 100.0);
+        std::string tag = std::to_string(n);
+        report.add("uvax2", "lookup_hinted_" + tag, double(with),
+                   "ns");
+        report.add("uvax2", "lookup_unhinted_" + tag, double(without),
+                   "ns");
+        report.add("uvax2", "hint_hit_rate_" + tag, rate, "ratio");
     }
     std::printf("\nHinted lookups stay O(1) as the map grows; "
                 "unhinted ones scan\nlinearly (yet even a "
                 "2048-entry map is far larger than the five\n"
                 "entries of a typical process).\n");
-    return 0;
+    return report.finish();
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 
@@ -70,10 +71,11 @@ run(unsigned multiple)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_pagesize", argc, argv);
 
     std::printf("Ablation E: boot-time Mach page size on the VAX "
                 "(512B hardware pages)\n");
@@ -89,10 +91,19 @@ main()
                     bench::ms(r.denseTime).c_str(),
                     (unsigned long long)r.sparseFaults,
                     bench::ms(r.sparseTime).c_str());
+        std::string tag = std::to_string(512 * multiple) + "b";
+        report.add("uvax2", "dense_faults_" + tag,
+                   double(r.denseFaults), "count");
+        report.add("uvax2", "dense_time_" + tag, double(r.denseTime),
+                   "ns");
+        report.add("uvax2", "sparse_faults_" + tag,
+                   double(r.sparseFaults), "count");
+        report.add("uvax2", "sparse_time_" + tag,
+                   double(r.sparseTime), "ns");
     }
     std::printf("\nLarger pages amortize trap overhead for dense "
                 "access but waste\nzero-fill work (and memory) for "
                 "sparse access — why Mach leaves the\nchoice to boot "
                 "time rather than the architecture.\n");
-    return 0;
+    return report.finish();
 }

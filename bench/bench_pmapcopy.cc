@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 #include "vm/vm_object.hh"
@@ -67,10 +68,11 @@ run(bool use_pmap_copy, unsigned read_percent)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_pmapcopy", argc, argv);
 
     std::printf("Ablation F: optional pmap_copy at fork "
                 "(Table 3-4), MicroVAX II\n");
@@ -91,6 +93,14 @@ main()
                         (unsigned long long)r.childFaults,
                         bench::ms(r.forkTime + r.childReadTime)
                             .c_str());
+            std::string tag = std::string(on ? "on" : "off") + "_" +
+                              std::to_string(pct) + "pct";
+            report.add("uvax2", "fork_time_" + tag,
+                       double(r.forkTime), "ns");
+            report.add("uvax2", "child_read_time_" + tag,
+                       double(r.childReadTime), "ns");
+            report.add("uvax2", "child_faults_" + tag,
+                       double(r.childFaults), "count");
         }
     }
     std::printf("\npmap_copy makes fork dearer but removes every "
@@ -98,5 +108,5 @@ main()
                 "touches what it inherited and\nloses (pure "
                 "overhead) when it execs immediately — why the paper"
                 "\nleaves it optional.\n");
-    return 0;
+    return report.finish();
 }

@@ -1,0 +1,88 @@
+#include "bench_report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mach::bench
+{
+
+Report::Report(std::string benchmark_, int argc, char **argv)
+    : benchmark(std::move(benchmark_))
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            path = argv[i + 1];
+            break;
+        }
+    }
+}
+
+void
+Report::add(const std::string &arch, const std::string &metric,
+            double value, const std::string &unit)
+{
+    records.push_back({arch, metric, value, unit});
+}
+
+namespace
+{
+
+/** Metric/arch names are plain identifiers; escape defensively. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+int
+Report::finish() const
+{
+    if (path.empty())
+        return 0;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Record &r = records[i];
+        std::fprintf(f,
+                     "  {\"benchmark\": \"%s\", \"arch\": \"%s\", "
+                     "\"metric\": \"%s\", \"value\": %s, "
+                     "\"unit\": \"%s\"}%s\n",
+                     jsonEscape(benchmark).c_str(),
+                     jsonEscape(r.arch).c_str(),
+                     jsonEscape(r.metric).c_str(),
+                     jsonNumber(r.value).c_str(),
+                     jsonEscape(r.unit).c_str(),
+                     i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return 0;
+}
+
+} // namespace mach::bench

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable benchmark output.
+ *
+ * Every benchmark binary accepts `--json <path>`; when given, the
+ * measured values are also written to @p path as a JSON array of
+ *
+ *     {"benchmark": ..., "arch": ..., "metric": ..., "value": ...,
+ *      "unit": ...}
+ *
+ * records.  tools/check_bench.py compares such a file against the
+ * checked-in baselines under bench/baselines/ and fails CI on drift.
+ * Units drive the comparison tolerance: "count" metrics must match
+ * exactly (the simulation is deterministic), "ns" (simulated time)
+ * and "ratio" metrics allow a small relative slack.
+ */
+
+#ifndef MACH_BENCH_BENCH_REPORT_HH
+#define MACH_BENCH_BENCH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace mach::bench
+{
+
+class Report
+{
+  public:
+    /**
+     * @param benchmark name recorded in every emitted record
+     *                  (conventionally the binary name)
+     *
+     * Consumes `--json <path>` from the command line if present;
+     * anything else is left for the caller.
+     */
+    Report(std::string benchmark, int argc, char **argv);
+
+    /** True when `--json <path>` was given. */
+    bool jsonRequested() const { return !path.empty(); }
+
+    /** Record one measured value. */
+    void add(const std::string &arch, const std::string &metric,
+             double value, const std::string &unit);
+
+    /**
+     * Write the JSON file if requested.  Returns the process exit
+     * code: non-zero when the file cannot be written.
+     */
+    int finish() const;
+
+  private:
+    struct Record
+    {
+        std::string arch;
+        std::string metric;
+        double value;
+        std::string unit;
+    };
+
+    std::string benchmark;
+    std::string path;
+    std::vector<Record> records;
+};
+
+} // namespace mach::bench
+
+#endif // MACH_BENCH_BENCH_REPORT_HH

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 #include "vm/vm_object.hh"
@@ -80,10 +81,11 @@ forkChain(unsigned generations, bool collapse)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_shadow", argc, argv);
 
     std::printf("Ablation A: shadow chain garbage collection "
                 "(section 3.5)\n");
@@ -96,10 +98,18 @@ main()
                         collapse ? "on" : "off", gens, r.chainLength,
                         bench::ms(r.faultTime).c_str(),
                         (unsigned long long)r.objects);
+            std::string tag = std::to_string(gens) +
+                              (collapse ? "_collapse" : "_none");
+            report.add("uvax2", "chain_len_" + tag,
+                       double(r.chainLength), "count");
+            report.add("uvax2", "fault_cost_" + tag,
+                       double(r.faultTime), "ns");
+            report.add("uvax2", "live_objects_" + tag,
+                       double(r.objects), "count");
         }
     }
     std::printf("\nWithout collapse the chain (and the cost of an "
                 "unshadowed fault)\ngrows linearly with fork depth; "
                 "with it both stay bounded.\n");
-    return 0;
+    return report.finish();
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 #include "vm/vm_user.hh"
@@ -170,10 +171,11 @@ deallocBench(unsigned cpus, VmSize size, bool batched)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_shootdown", argc, argv);
 
     std::printf("Ablation D: TLB shootdown strategies "
                 "(section 5.2), Encore MultiMax\n");
@@ -190,6 +192,17 @@ main()
                         (unsigned long long)r.ipis,
                         (unsigned long long)r.deferred,
                         (unsigned long long)r.lazy);
+            std::string tag = std::string("storm_") +
+                              modeName(mode) + "_" +
+                              std::to_string(cpus) + "cpu";
+            report.add("multimax", tag + "_time", double(r.time),
+                       "ns");
+            report.add("multimax", tag + "_ipis", double(r.ipis),
+                       "count");
+            report.add("multimax", tag + "_deferred",
+                       double(r.deferred), "count");
+            report.add("multimax", tag + "_lazy", double(r.lazy),
+                       "count");
         }
     }
     std::printf("\nImmediate scales its IPI cost with the CPU count "
@@ -211,6 +224,15 @@ main()
                     (unsigned long long)un.ipis,
                     bench::ms(ba.time).c_str(),
                     (unsigned long long)ba.ipis);
+        std::string tag = "fork_256k_" + std::to_string(cpus) + "cpu";
+        report.add("multimax", tag + "_unbatched_time",
+                   double(un.time), "ns");
+        report.add("multimax", tag + "_unbatched_ipis",
+                   double(un.ipis), "count");
+        report.add("multimax", tag + "_batched_time", double(ba.time),
+                   "ns");
+        report.add("multimax", tag + "_batched_ipis", double(ba.ipis),
+                   "count");
     }
     for (unsigned cpus : {1u, 2u, 4u}) {
         BatchResult un = deallocBench(cpus, 1024 * 1024, false);
@@ -220,10 +242,20 @@ main()
                     (unsigned long long)un.ipis,
                     bench::ms(ba.time).c_str(),
                     (unsigned long long)ba.ipis);
+        std::string tag = "dealloc_1m_" + std::to_string(cpus) +
+                          "cpu";
+        report.add("multimax", tag + "_unbatched_time",
+                   double(un.time), "ns");
+        report.add("multimax", tag + "_unbatched_ipis",
+                   double(un.ipis), "count");
+        report.add("multimax", tag + "_batched_time", double(ba.time),
+                   "ns");
+        report.add("multimax", tag + "_batched_ipis", double(ba.ipis),
+                   "count");
     }
     std::printf("\nBatched mode accumulates the per-page shootdowns "
                 "of one VM operation\nand closes with a single merged "
                 "flush round: at most one IPI per\ntarget CPU per "
                 "operation, instead of one per page.\n");
-    return 0;
+    return report.finish();
 }

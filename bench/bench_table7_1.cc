@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 #include "unix/unix_vm.hh"
@@ -176,61 +177,87 @@ sysElapsed(SimTime system, SimTime elapsed)
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_table7_1", argc, argv);
 
     std::printf("Table 7-1: Performance of Mach VM Operations\n");
     std::printf("(simulated time; paper values alongside)\n");
     bench::rowHeader();
 
-    bench::row("zero fill 1K (RT PC)",
-               ms(machZeroFill1K(MachineSpec::rtPc())),
-               ms(unixZeroFill1K(MachineSpec::rtPc())), "0.45ms",
-               "0.58ms");
-    bench::row("zero fill 1K (uVAX II)",
-               ms(machZeroFill1K(MachineSpec::microVax2())),
-               ms(unixZeroFill1K(MachineSpec::microVax2())), "0.58ms",
-               "1.20ms");
-    bench::row("zero fill 1K (SUN 3/160)",
-               ms(machZeroFill1K(MachineSpec::sun3_160())),
-               ms(unixZeroFill1K(MachineSpec::sun3_160())), "0.23ms",
-               "0.27ms");
+    struct ZfMachine
+    {
+        const char *label;
+        const char *arch;
+        MachineSpec spec;
+        const char *paperMach, *paperUnix;
+    };
+    const ZfMachine zf[] = {
+        {"zero fill 1K (RT PC)", "rt_pc", MachineSpec::rtPc(),
+         "0.45ms", "0.58ms"},
+        {"zero fill 1K (uVAX II)", "uvax2", MachineSpec::microVax2(),
+         "0.58ms", "1.20ms"},
+        {"zero fill 1K (SUN 3/160)", "sun3_160",
+         MachineSpec::sun3_160(), "0.23ms", "0.27ms"},
+    };
+    for (const ZfMachine &m : zf) {
+        SimTime mach_t = machZeroFill1K(m.spec);
+        SimTime unix_t = unixZeroFill1K(m.spec);
+        bench::row(m.label, ms(mach_t), ms(unix_t), m.paperMach,
+                   m.paperUnix);
+        report.add(m.arch, "mach_zero_fill_1k", double(mach_t), "ns");
+        report.add(m.arch, "unix_zero_fill_1k", double(unix_t), "ns");
+    }
 
-    bench::row("fork 256K (RT PC)",
-               ms(machFork256K(MachineSpec::rtPc())),
-               ms(unixFork256K(MachineSpec::rtPc())), "41ms", "145ms");
-    bench::row("fork 256K (uVAX II)",
-               ms(machFork256K(MachineSpec::microVax2())),
-               ms(unixFork256K(MachineSpec::microVax2())), "59ms",
-               "220ms");
-    bench::row("fork 256K (SUN 3/160)",
-               ms(machFork256K(MachineSpec::sun3_160())),
-               ms(unixFork256K(MachineSpec::sun3_160())), "68ms",
-               "89ms");
+    const ZfMachine fk[] = {
+        {"fork 256K (RT PC)", "rt_pc", MachineSpec::rtPc(), "41ms",
+         "145ms"},
+        {"fork 256K (uVAX II)", "uvax2", MachineSpec::microVax2(),
+         "59ms", "220ms"},
+        {"fork 256K (SUN 3/160)", "sun3_160", MachineSpec::sun3_160(),
+         "68ms", "89ms"},
+    };
+    for (const ZfMachine &m : fk) {
+        SimTime mach_t = machFork256K(m.spec);
+        SimTime unix_t = unixFork256K(m.spec);
+        bench::row(m.label, ms(mach_t), ms(unix_t), m.paperMach,
+                   m.paperUnix);
+        report.add(m.arch, "mach_fork_256k", double(mach_t), "ns");
+        report.add(m.arch, "unix_fork_256k", double(unix_t), "ns");
+    }
 
     // File reread on a VAX 8200 (system/elapsed seconds).
-    ReadTimes m25 = machRead(MachineSpec::vax8200(), 2500 << 10);
-    ReadTimes u25 = unixRead(MachineSpec::vax8200(), 2500 << 10);
-    bench::row("read 2.5M file, first",
-               sysElapsed(m25.firstSystem, m25.firstElapsed),
-               sysElapsed(u25.firstSystem, u25.firstElapsed),
-               "5.2/11s", "5.0/11s");
-    bench::row("read 2.5M file, second",
-               sysElapsed(m25.secondSystem, m25.secondElapsed),
-               sysElapsed(u25.secondSystem, u25.secondElapsed),
-               "1.2/1.4s", "5.0/11s");
-
-    ReadTimes m50 = machRead(MachineSpec::vax8200(), 50 << 10);
-    ReadTimes u50 = unixRead(MachineSpec::vax8200(), 50 << 10);
-    bench::row("read 50K file, first",
-               sysElapsed(m50.firstSystem, m50.firstElapsed),
-               sysElapsed(u50.firstSystem, u50.firstElapsed),
-               "0.2/0.5s", "0.2/0.5s");
-    bench::row("read 50K file, second",
-               sysElapsed(m50.secondSystem, m50.secondElapsed),
-               sysElapsed(u50.secondSystem, u50.secondElapsed),
-               "0.1/0.1s", "0.2/0.2s");
-    return 0;
+    auto readRows = [&](const char *size_tag, VmSize size,
+                        const char *paper_first_m,
+                        const char *paper_first_u,
+                        const char *paper_second_m,
+                        const char *paper_second_u) {
+        ReadTimes m = machRead(MachineSpec::vax8200(), size);
+        ReadTimes u = unixRead(MachineSpec::vax8200(), size);
+        std::string label = std::string("read ") + size_tag + " file";
+        bench::row(label + ", first",
+                   sysElapsed(m.firstSystem, m.firstElapsed),
+                   sysElapsed(u.firstSystem, u.firstElapsed),
+                   paper_first_m, paper_first_u);
+        bench::row(label + ", second",
+                   sysElapsed(m.secondSystem, m.secondElapsed),
+                   sysElapsed(u.secondSystem, u.secondElapsed),
+                   paper_second_m, paper_second_u);
+        std::string base = std::string("read_") + size_tag;
+        report.add("vax8200", "mach_" + base + "_first_elapsed",
+                   double(m.firstElapsed), "ns");
+        report.add("vax8200", "mach_" + base + "_second_elapsed",
+                   double(m.secondElapsed), "ns");
+        report.add("vax8200", "unix_" + base + "_first_elapsed",
+                   double(u.firstElapsed), "ns");
+        report.add("vax8200", "unix_" + base + "_second_elapsed",
+                   double(u.secondElapsed), "ns");
+    };
+    readRows("2.5M", 2500 << 10, "5.2/11s", "5.0/11s", "1.2/1.4s",
+             "5.0/11s");
+    readRows("50K", 50 << 10, "0.2/0.5s", "0.2/0.5s", "0.1/0.1s",
+             "0.2/0.2s");
+    return report.finish();
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "bench_util.hh"
 #include "kern/kernel.hh"
 #include "unix/unix_vm.hh"
@@ -239,10 +240,11 @@ unixCompile(const MachineSpec &spec, const Workload &wl,
 } // namespace mach
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mach;
     setQuiet(true);
+    bench::Report report("bench_table7_2", argc, argv);
 
     std::printf("Table 7-2: Overall Compilation Performance: "
                 "Mach vs. 4.3bsd\n");
@@ -253,26 +255,46 @@ main()
     bench::rowHeader();
     {
         Workload wl = smallPrograms();
-        bench::row(wl.name, bench::sec(machCompile(vax, wl, 400)),
-                   bench::sec(unixCompile(vax, wl, 400)), "23s",
+        SimTime m = machCompile(vax, wl, 400);
+        SimTime u = unixCompile(vax, wl, 400);
+        bench::row(wl.name, bench::sec(m), bench::sec(u), "23s",
                    "28s");
+        report.add("vax8650", "mach_13_programs_400buf", double(m),
+                   "ns");
+        report.add("vax8650", "unix_13_programs_400buf", double(u),
+                   "ns");
         wl = kernelBuild();
-        bench::row(wl.name, bench::minSec(machCompile(vax, wl, 400)),
-                   bench::minSec(unixCompile(vax, wl, 400)), "19:58",
-                   "23:38");
+        m = machCompile(vax, wl, 400);
+        u = unixCompile(vax, wl, 400);
+        bench::row(wl.name, bench::minSec(m), bench::minSec(u),
+                   "19:58", "23:38");
+        report.add("vax8650", "mach_kernel_build_400buf", double(m),
+                   "ns");
+        report.add("vax8650", "unix_kernel_build_400buf", double(u),
+                   "ns");
     }
 
     bench::header("VAX 8650: Generic configuration");
     bench::rowHeader();
     {
         Workload wl = smallPrograms();
-        bench::row(wl.name, bench::sec(machCompile(vax, wl, 0)),
-                   bench::sec(unixCompile(vax, wl, 120)), "19s",
+        SimTime m = machCompile(vax, wl, 0);
+        SimTime u = unixCompile(vax, wl, 120);
+        bench::row(wl.name, bench::sec(m), bench::sec(u), "19s",
                    "1:16min");
+        report.add("vax8650", "mach_13_programs_generic", double(m),
+                   "ns");
+        report.add("vax8650", "unix_13_programs_generic", double(u),
+                   "ns");
         wl = kernelBuild();
-        bench::row(wl.name, bench::minSec(machCompile(vax, wl, 0)),
-                   bench::minSec(unixCompile(vax, wl, 120)), "15:50",
-                   "34:10");
+        m = machCompile(vax, wl, 0);
+        u = unixCompile(vax, wl, 120);
+        bench::row(wl.name, bench::minSec(m), bench::minSec(u),
+                   "15:50", "34:10");
+        report.add("vax8650", "mach_kernel_build_generic", double(m),
+                   "ns");
+        report.add("vax8650", "unix_kernel_build_generic", double(u),
+                   "ns");
     }
 
     bench::header("SUN 3/160 (vs SunOS 3.2)");
@@ -280,9 +302,14 @@ main()
     {
         MachineSpec sun = MachineSpec::sun3_160();
         Workload wl = sunForkTest();
-        bench::row("compile fork test program",
-                   bench::sec(machCompile(sun, wl, 0)),
-                   bench::sec(unixCompile(sun, wl, 120)), "3s", "6s");
+        SimTime m = machCompile(sun, wl, 0);
+        SimTime u = unixCompile(sun, wl, 120);
+        bench::row("compile fork test program", bench::sec(m),
+                   bench::sec(u), "3s", "6s");
+        report.add("sun3_160", "mach_fork_test_generic", double(m),
+                   "ns");
+        report.add("sun3_160", "unix_fork_test_generic", double(u),
+                   "ns");
     }
-    return 0;
+    return report.finish();
 }

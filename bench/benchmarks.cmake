@@ -2,9 +2,12 @@
 # DESIGN.md section 4).  Outputs land in build/bench/ with nothing
 # else, so `for b in build/bench/*; do $b; done` runs them all.
 
+# Shared --json reporting (bench_report.hh).
+add_library(bench_report STATIC ${CMAKE_SOURCE_DIR}/bench/bench_report.cc)
+
 function(machvm_bench name)
     add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
-    target_link_libraries(${name} PRIVATE machvm)
+    target_link_libraries(${name} PRIVATE machvm bench_report)
     set_target_properties(${name} PROPERTIES
         RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -19,6 +22,7 @@ machvm_bench(bench_pagesize)
 machvm_bench(bench_pmapcopy)
 
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
-target_link_libraries(bench_micro PRIVATE machvm benchmark::benchmark)
+target_link_libraries(bench_micro PRIVATE machvm bench_report
+                                          benchmark::benchmark)
 set_target_properties(bench_micro PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -63,6 +63,7 @@ Machine::setCurrentCpu(CpuId id)
 {
     MACH_ASSERT(id < cpus.size());
     curCpu = id;
+    simClock.setTraceCpu(id);
 }
 
 bool

@@ -4,7 +4,7 @@ namespace mach
 {
 
 void
-Ns32082Pmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+Ns32082Pmap::enterImpl(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 {
     const MachineSpec &spec = system().getMachine().spec;
     if (va + system().machPageSize() > spec.pmapVaLimit) {
@@ -16,7 +16,7 @@ Ns32082Pmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
         panic("NS32082: physical address %#llx beyond the 32MB "
               "addressable limit", (unsigned long long)pa);
     }
-    LinearPmap::enter(va, pa, prot, wired);
+    LinearPmap::enterImpl(va, pa, prot, wired);
 }
 
 } // namespace mach

@@ -41,8 +41,9 @@ class Ns32082Pmap : public LinearPmap
     {
     }
 
-    void enter(VmOffset va, PhysAddr pa, VmProt prot,
-               bool wired) override;
+  protected:
+    void enterImpl(VmOffset va, PhysAddr pa, VmProt prot,
+                   bool wired) override;
 };
 
 /** The NS32082 pmap module. */

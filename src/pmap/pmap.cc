@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 #include "pmap/ns32082_pmap.hh"
 #include "pmap/rt_pmap.hh"
 #include "pmap/sun3_pmap.hh"
@@ -51,6 +53,49 @@ void
 Pmap::update()
 {
     sys.getMachine().timerTick();
+}
+
+void
+Pmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+{
+    SimClock &clock = sys.getMachine().clock();
+    if (!traceActive(clock)) {
+        enterImpl(va, pa, prot, wired);
+        return;
+    }
+    traceEmit(clock, TraceEventType::PmapEnter, wired ? 1 : 0, va, pa);
+    SimTime t0 = clock.now();
+    enterImpl(va, pa, prot, wired);
+    traceLatency(clock, TraceLatencyKind::PmapOp, clock.now() - t0);
+}
+
+void
+Pmap::remove(VmOffset start, VmOffset end)
+{
+    SimClock &clock = sys.getMachine().clock();
+    if (!traceActive(clock)) {
+        removeImpl(start, end);
+        return;
+    }
+    traceEmit(clock, TraceEventType::PmapRemove, 0, start, end);
+    SimTime t0 = clock.now();
+    removeImpl(start, end);
+    traceLatency(clock, TraceLatencyKind::PmapOp, clock.now() - t0);
+}
+
+void
+Pmap::protect(VmOffset start, VmOffset end, VmProt prot)
+{
+    SimClock &clock = sys.getMachine().clock();
+    if (!traceActive(clock)) {
+        protectImpl(start, end, prot);
+        return;
+    }
+    traceEmit(clock, TraceEventType::PmapProtect,
+              static_cast<std::uint8_t>(prot), start, end);
+    SimTime t0 = clock.now();
+    protectImpl(start, end, prot);
+    traceLatency(clock, TraceLatencyKind::PmapOp, clock.now() - t0);
 }
 
 void
@@ -172,6 +217,36 @@ PmapSystem::isReferenced(PhysAddr pa)
 }
 
 void
+PmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+{
+    SimClock &clock = machine.clock();
+    if (!traceActive(clock)) {
+        removeAllImpl(pa, mode);
+        return;
+    }
+    traceEmit(clock, TraceEventType::PmapRemoveAll,
+              static_cast<std::uint8_t>(mode), pa, 0);
+    SimTime t0 = clock.now();
+    removeAllImpl(pa, mode);
+    traceLatency(clock, TraceLatencyKind::PmapOp, clock.now() - t0);
+}
+
+void
+PmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+{
+    SimClock &clock = machine.clock();
+    if (!traceActive(clock)) {
+        copyOnWriteImpl(pa, mode);
+        return;
+    }
+    traceEmit(clock, TraceEventType::PmapCow,
+              static_cast<std::uint8_t>(mode), pa, 0);
+    SimTime t0 = clock.now();
+    copyOnWriteImpl(pa, mode);
+    traceLatency(clock, TraceLatencyKind::PmapOp, clock.now() - t0);
+}
+
+void
 PmapSystem::clearModify(PhysAddr pa, ShootdownMode mode)
 {
     FrameNum first = frameOf(pa);
@@ -288,6 +363,10 @@ void
 PmapSystem::shootdownRange(Pmap &pmap, VmOffset start, VmOffset end,
                            ShootdownMode mode)
 {
+    // Every consistency request is traced here, whether it is
+    // dispatched now, absorbed into a batch, deferred or skipped.
+    traceEmit(machine.clock(), TraceEventType::Shootdown,
+              static_cast<std::uint8_t>(mode), start, end);
     if (batching() && coalesceShootdowns) {
         // Record the range; the batch close issues one merged round
         // honoring the strictest mode seen.
@@ -365,6 +444,7 @@ PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
     }
 
     // Immediate (case 1): local flush plus an IPI per remote CPU.
+    SimTime t0 = machine.clock().now();
     for (unsigned i = 0; i < machine.numCpus(); ++i) {
         if (!targets.test(i))
             continue;
@@ -374,9 +454,12 @@ PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
             ++shootdownIpis;
             if (batched)
                 ++batchedIpis;
+            traceEmit(machine.clock(), TraceEventType::Ipi, 0, i, 0);
             machine.ipi(i, flushCpu);
         }
     }
+    traceLatency(machine.clock(), TraceLatencyKind::Shootdown,
+                 machine.clock().now() - t0);
 }
 
 void

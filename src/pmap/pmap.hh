@@ -94,7 +94,17 @@ class Pmap : public TranslationSource
     Pmap(PmapSystem &sys, bool kernel);
     ~Pmap() override = default;
 
-    /** @name Table 3-3: required operations @{ */
+    /**
+     * @name Table 3-3: required operations
+     *
+     * enter/remove/protect are non-virtual shells: they emit trace
+     * events and record per-operation latency (src/sim/trace.hh),
+     * then forward to the architecture's *Impl.  Subclasses calling
+     * their own implementation internally (e.g. protect degrading to
+     * remove) call the Impl directly so each machine-independent
+     * request is traced exactly once.
+     * @{
+     */
     /**
      * Enter a mapping for one machine-independent page [page fault].
      * @param va Mach-page-aligned virtual address
@@ -102,11 +112,10 @@ class Pmap : public TranslationSource
      * @param prot hardware permissions to grant
      * @param wired if true the mapping may never be dropped
      */
-    virtual void enter(VmOffset va, PhysAddr pa, VmProt prot,
-                       bool wired) = 0;
+    void enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired);
 
     /** Remove all mappings in [start, end) [memory deallocation]. */
-    virtual void remove(VmOffset start, VmOffset end) = 0;
+    void remove(VmOffset start, VmOffset end);
 
     /**
      * Restrict the protection on [start, end).  Like the real
@@ -116,7 +125,7 @@ class Pmap : public TranslationSource
      * (a pmap upgrade here could expose a COW-shared page to
      * writes).
      */
-    virtual void protect(VmOffset start, VmOffset end, VmProt prot) = 0;
+    void protect(VmOffset start, VmOffset end, VmProt prot);
 
     /** Convert virtual to physical (pmap_extract). */
     virtual std::optional<PhysAddr> extract(VmOffset va) = 0;
@@ -192,6 +201,14 @@ class Pmap : public TranslationSource
     void hwMarkModified(VmOffset va) override;
 
   protected:
+    /** @name Architecture implementations of Table 3-3 @{ */
+    virtual void enterImpl(VmOffset va, PhysAddr pa, VmProt prot,
+                           bool wired) = 0;
+    virtual void removeImpl(VmOffset start, VmOffset end) = 0;
+    virtual void protectImpl(VmOffset start, VmOffset end,
+                             VmProt prot) = 0;
+    /** @} */
+
     /** Flush [start, end) from TLBs per the given policy mode. */
     void shootdown(VmOffset start, VmOffset end, ShootdownMode mode);
 
@@ -243,13 +260,20 @@ class PmapSystem
     /** The kernel's own map: always complete and accurate. */
     Pmap *kernelPmap() { return kernel; }
 
-    /** @name Physical-page-indexed operations @{ */
+    /**
+     * @name Physical-page-indexed operations
+     *
+     * Like Pmap::enter and friends these are tracing shells: the
+     * machine-dependent work lives in removeAllImpl / copyOnWriteImpl
+     * so each request is traced exactly once.
+     * @{
+     */
     /** Remove a physical page from all maps [pageout]. */
-    virtual void removeAll(PhysAddr pa, ShootdownMode mode) = 0;
+    void removeAll(PhysAddr pa, ShootdownMode mode);
     void removeAll(PhysAddr pa) { removeAll(pa, policy.pageout); }
 
     /** Revoke write access from all maps [virtual copy]. */
-    virtual void copyOnWrite(PhysAddr pa, ShootdownMode mode) = 0;
+    void copyOnWrite(PhysAddr pa, ShootdownMode mode);
     void copyOnWrite(PhysAddr pa) { copyOnWrite(pa, policy.protect); }
 
     /** pmap_zero_page. */
@@ -353,6 +377,11 @@ class PmapSystem
   protected:
     /** Subclasses allocate their concrete pmap type. */
     virtual std::unique_ptr<Pmap> allocatePmap(bool kernel) = 0;
+
+    /** @name Machine-dependent bodies of the traced physical ops @{ */
+    virtual void removeAllImpl(PhysAddr pa, ShootdownMode mode) = 0;
+    virtual void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) = 0;
+    /** @} */
 
     /** Set a physical attribute bit (called via Pmap defaults). */
     friend class Pmap;

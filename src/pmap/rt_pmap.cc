@@ -9,7 +9,7 @@ RtPmap::RtPmap(RtPmapSystem &rsys, bool kernel)
 }
 
 void
-RtPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+RtPmap::enterImpl(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 {
     const MachineSpec &spec = rsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -51,7 +51,7 @@ RtPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 }
 
 void
-RtPmap::remove(VmOffset start, VmOffset end)
+RtPmap::removeImpl(VmOffset start, VmOffset end)
 {
     const MachineSpec &spec = rsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -85,10 +85,10 @@ RtPmap::remove(VmOffset start, VmOffset end)
 }
 
 void
-RtPmap::protect(VmOffset start, VmOffset end, VmProt prot)
+RtPmap::protectImpl(VmOffset start, VmOffset end, VmProt prot)
 {
     if (protEmpty(prot)) {
-        remove(start, end);
+        removeImpl(start, end);
         return;
     }
     const MachineSpec &spec = rsys.getMachine().spec;
@@ -171,7 +171,7 @@ RtPmapSystem::evict(FrameNum frame, std::optional<ShootdownMode> mode)
 }
 
 void
-RtPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+RtPmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
 {
     VmSize hw = machine.spec.hwPageSize();
     // One flush round for all of the page's hardware frames.
@@ -186,7 +186,7 @@ RtPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 }
 
 void
-RtPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+RtPmapSystem::copyOnWriteImpl(PhysAddr pa, ShootdownMode mode)
 {
     VmSize hw = machine.spec.hwPageSize();
     PmapBatch batch(*this);

@@ -38,14 +38,17 @@ class RtPmap : public Pmap
   public:
     RtPmap(RtPmapSystem &rsys, bool kernel);
 
-    void enter(VmOffset va, PhysAddr pa, VmProt prot,
-               bool wired) override;
-    void remove(VmOffset start, VmOffset end) override;
-    void protect(VmOffset start, VmOffset end, VmProt prot) override;
     std::optional<PhysAddr> extract(VmOffset va) override;
 
     std::optional<HwTranslation> hwLookup(VmOffset va,
                                           AccessType access) override;
+
+  protected:
+    void enterImpl(VmOffset va, PhysAddr pa, VmProt prot,
+                   bool wired) override;
+    void removeImpl(VmOffset start, VmOffset end) override;
+    void protectImpl(VmOffset start, VmOffset end,
+                     VmProt prot) override;
 
   private:
     friend class RtPmapSystem;
@@ -63,10 +66,8 @@ class RtPmapSystem : public PmapSystem
 
     void init(VmSize mach_page_size) override;
 
-    void removeAll(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::removeAll;
-    void copyOnWrite(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::copyOnWrite;
+    void removeAllImpl(PhysAddr pa, ShootdownMode mode) override;
+    void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) override;
 
     /** One inverted-page-table slot (indexed by hardware frame). */
     struct IptEntry

@@ -21,7 +21,7 @@ Sun3Pmap::onActivate(CpuId cpu)
 }
 
 void
-Sun3Pmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+Sun3Pmap::enterImpl(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 {
     const MachineSpec &spec = ssys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -65,7 +65,7 @@ Sun3Pmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 }
 
 void
-Sun3Pmap::remove(VmOffset start, VmOffset end)
+Sun3Pmap::removeImpl(VmOffset start, VmOffset end)
 {
     const MachineSpec &spec = ssys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -116,10 +116,10 @@ Sun3Pmap::remove(VmOffset start, VmOffset end)
 }
 
 void
-Sun3Pmap::protect(VmOffset start, VmOffset end, VmProt prot)
+Sun3Pmap::protectImpl(VmOffset start, VmOffset end, VmProt prot)
 {
     if (protEmpty(prot)) {
-        remove(start, end);
+        removeImpl(start, end);
         return;
     }
     const MachineSpec &spec = ssys.getMachine().spec;
@@ -315,7 +315,7 @@ Sun3PmapSystem::grantContext(Sun3Pmap *pmap)
 }
 
 void
-Sun3PmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+Sun3PmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
@@ -347,7 +347,7 @@ Sun3PmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 }
 
 void
-Sun3PmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+Sun3PmapSystem::copyOnWriteImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();

@@ -43,10 +43,6 @@ class Sun3Pmap : public Pmap
   public:
     Sun3Pmap(Sun3PmapSystem &ssys, bool kernel);
 
-    void enter(VmOffset va, PhysAddr pa, VmProt prot,
-               bool wired) override;
-    void remove(VmOffset start, VmOffset end) override;
-    void protect(VmOffset start, VmOffset end, VmProt prot) override;
     std::optional<PhysAddr> extract(VmOffset va) override;
 
     std::optional<HwTranslation> hwLookup(VmOffset va,
@@ -56,6 +52,12 @@ class Sun3Pmap : public Pmap
     int context() const { return ctx; }
 
   protected:
+    void enterImpl(VmOffset va, PhysAddr pa, VmProt prot,
+                   bool wired) override;
+    void removeImpl(VmOffset start, VmOffset end) override;
+    void protectImpl(VmOffset start, VmOffset end,
+                     VmProt prot) override;
+
     void onActivate(CpuId cpu) override;
 
   private:
@@ -79,10 +81,8 @@ class Sun3PmapSystem : public PmapSystem
 
     void init(VmSize mach_page_size) override;
 
-    void removeAll(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::removeAll;
-    void copyOnWrite(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::copyOnWrite;
+    void removeAllImpl(PhysAddr pa, ShootdownMode mode) override;
+    void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) override;
 
     /** Bytes covered by one segment (PMEG). */
     VmSize segmentSize() const

@@ -9,7 +9,7 @@ TlbSoftPmap::TlbSoftPmap(TlbSoftPmapSystem &tsys, bool kernel)
 }
 
 void
-TlbSoftPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+TlbSoftPmap::enterImpl(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 {
     const MachineSpec &spec = tsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -33,7 +33,7 @@ TlbSoftPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 }
 
 void
-TlbSoftPmap::remove(VmOffset start, VmOffset end)
+TlbSoftPmap::removeImpl(VmOffset start, VmOffset end)
 {
     const MachineSpec &spec = tsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -72,10 +72,10 @@ TlbSoftPmap::remove(VmOffset start, VmOffset end)
 }
 
 void
-TlbSoftPmap::protect(VmOffset start, VmOffset end, VmProt prot)
+TlbSoftPmap::protectImpl(VmOffset start, VmOffset end, VmProt prot)
 {
     if (protEmpty(prot)) {
-        remove(start, end);
+        removeImpl(start, end);
         return;
     }
     const MachineSpec &spec = tsys.getMachine().spec;
@@ -138,7 +138,7 @@ TlbSoftPmap::hwLookup(VmOffset va, AccessType access)
 }
 
 void
-TlbSoftPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+TlbSoftPmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
@@ -161,7 +161,7 @@ TlbSoftPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 }
 
 void
-TlbSoftPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+TlbSoftPmapSystem::copyOnWriteImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();

@@ -33,15 +33,18 @@ class TlbSoftPmap : public Pmap
   public:
     TlbSoftPmap(TlbSoftPmapSystem &tsys, bool kernel);
 
-    void enter(VmOffset va, PhysAddr pa, VmProt prot,
-               bool wired) override;
-    void remove(VmOffset start, VmOffset end) override;
-    void protect(VmOffset start, VmOffset end, VmProt prot) override;
     std::optional<PhysAddr> extract(VmOffset va) override;
     void garbageCollect() override;
 
     std::optional<HwTranslation> hwLookup(VmOffset va,
                                           AccessType access) override;
+
+  protected:
+    void enterImpl(VmOffset va, PhysAddr pa, VmProt prot,
+                   bool wired) override;
+    void removeImpl(VmOffset start, VmOffset end) override;
+    void protectImpl(VmOffset start, VmOffset end,
+                     VmProt prot) override;
 
   private:
     friend class TlbSoftPmapSystem;
@@ -65,10 +68,8 @@ class TlbSoftPmapSystem : public PmapSystem
     {
     }
 
-    void removeAll(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::removeAll;
-    void copyOnWrite(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::copyOnWrite;
+    void removeAllImpl(PhysAddr pa, ShootdownMode mode) override;
+    void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) override;
 
   protected:
     std::unique_ptr<Pmap> allocatePmap(bool kernel) override

@@ -53,7 +53,7 @@ LinearPmap::invalidatePte(VmOffset va, PtPage &pt, Pte &pte)
 }
 
 void
-LinearPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
+LinearPmap::enterImpl(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 {
     const MachineSpec &spec = lsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -84,7 +84,7 @@ LinearPmap::enter(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
 }
 
 void
-LinearPmap::remove(VmOffset start, VmOffset end)
+LinearPmap::removeImpl(VmOffset start, VmOffset end)
 {
     const MachineSpec &spec = lsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
@@ -124,10 +124,10 @@ LinearPmap::remove(VmOffset start, VmOffset end)
 }
 
 void
-LinearPmap::protect(VmOffset start, VmOffset end, VmProt prot)
+LinearPmap::protectImpl(VmOffset start, VmOffset end, VmProt prot)
 {
     if (protEmpty(prot)) {
-        remove(start, end);
+        removeImpl(start, end);
         return;
     }
     const MachineSpec &spec = lsys.getMachine().spec;
@@ -255,7 +255,7 @@ LinearPmapSystem::allocatePmap(bool kernel)
 }
 
 void
-LinearPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
+LinearPmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();
@@ -279,7 +279,7 @@ LinearPmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 }
 
 void
-LinearPmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
+LinearPmapSystem::copyOnWriteImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;
     VmSize hw = spec.hwPageSize();

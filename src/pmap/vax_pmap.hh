@@ -35,10 +35,6 @@ class LinearPmap : public Pmap
   public:
     LinearPmap(LinearPmapSystem &lsys, bool kernel);
 
-    void enter(VmOffset va, PhysAddr pa, VmProt prot,
-               bool wired) override;
-    void remove(VmOffset start, VmOffset end) override;
-    void protect(VmOffset start, VmOffset end, VmProt prot) override;
     std::optional<PhysAddr> extract(VmOffset va) override;
     void garbageCollect() override;
 
@@ -55,6 +51,13 @@ class LinearPmap : public Pmap
 
     /** Number of page-table pages currently built (statistics). */
     std::size_t tablePages() const { return tables.size(); }
+
+  protected:
+    void enterImpl(VmOffset va, PhysAddr pa, VmProt prot,
+                   bool wired) override;
+    void removeImpl(VmOffset start, VmOffset end) override;
+    void protectImpl(VmOffset start, VmOffset end,
+                     VmProt prot) override;
 
   private:
     friend class LinearPmapSystem;
@@ -99,10 +102,8 @@ class LinearPmapSystem : public PmapSystem
   public:
     explicit LinearPmapSystem(Machine &machine);
 
-    void removeAll(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::removeAll;
-    void copyOnWrite(PhysAddr pa, ShootdownMode mode) override;
-    using PmapSystem::copyOnWrite;
+    void removeAllImpl(PhysAddr pa, ShootdownMode mode) override;
+    void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) override;
 
     /** PTEs that fit in one page-table page. */
     unsigned ptesPerTablePage() const { return ptesPerPage; }

@@ -20,6 +20,8 @@
 namespace mach
 {
 
+class TraceSink;
+
 /** What kind of work a charge represents. */
 enum class CostKind : unsigned
 {
@@ -73,8 +75,26 @@ class SimClock
     /** Time elapsed since @p since. */
     SimTime elapsed(SimTime since) const { return time - since; }
 
+    /**
+     * @name Event tracing (src/sim/trace.hh)
+     *
+     * The clock carries the trace sink because every layer that
+     * charges time already holds the clock; emit sites go through
+     * the inline helpers in trace.hh, which test this pointer first.
+     * The Machine mirrors its current CPU here so events can be
+     * stamped without reaching back into hw/.
+     * @{
+     */
+    TraceSink *traceSink() const { return trace; }
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+    CpuId traceCpu() const { return tCpu; }
+    void setTraceCpu(CpuId cpu) { tCpu = cpu; }
+    /** @} */
+
   private:
     SimTime time = 0;
+    TraceSink *trace = nullptr;
+    CpuId tCpu = 0;
     std::array<SimTime, numKinds> byKind{};
 };
 

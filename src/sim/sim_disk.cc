@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "sim/trace.hh"
 
 namespace mach
 {
@@ -28,9 +29,12 @@ SimDisk::read(std::uint64_t offset, void *buf, std::uint64_t len)
 {
     checkRange(offset, len);
     std::memcpy(buf, store.data() + offset, len);
-    clock.charge(CostKind::Disk, costs.diskCost(len));
+    SimTime cost = costs.diskCost(len);
+    clock.charge(CostKind::Disk, cost);
     ++reads;
     bytes += len;
+    traceLatency(clock, TraceLatencyKind::Disk, cost);
+    traceEmit(clock, TraceEventType::DiskRead, 0, offset, len);
 }
 
 void
@@ -38,9 +42,12 @@ SimDisk::write(std::uint64_t offset, const void *buf, std::uint64_t len)
 {
     checkRange(offset, len);
     std::memcpy(store.data() + offset, buf, len);
-    clock.charge(CostKind::Disk, costs.diskCost(len));
+    SimTime cost = costs.diskCost(len);
+    clock.charge(CostKind::Disk, cost);
     ++writes;
     bytes += len;
+    traceLatency(clock, TraceLatencyKind::Disk, cost);
+    traceEmit(clock, TraceEventType::DiskWrite, 0, offset, len);
 }
 
 void
@@ -49,10 +56,12 @@ SimDisk::writeAsync(std::uint64_t offset, const void *buf,
 {
     checkRange(offset, len);
     std::memcpy(store.data() + offset, buf, len);
-    clock.charge(CostKind::Disk,
-                 static_cast<SimTime>(costs.diskPerByte * len));
+    SimTime cost = static_cast<SimTime>(costs.diskPerByte * len);
+    clock.charge(CostKind::Disk, cost);
     ++writes;
     bytes += len;
+    traceLatency(clock, TraceLatencyKind::Disk, cost);
+    traceEmit(clock, TraceEventType::DiskWrite, 1, offset, len);
 }
 
 } // namespace mach

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Low-overhead VM event tracing (the observability layer).
+ *
+ * A TraceSink is a fixed-capacity ring buffer of typed events —
+ * fault begin/end (with resolution kind), pageout, TLB shootdown,
+ * IPI, pmap enter/remove/protect, and disk I/O — each stamped with
+ * the simulated time and the CPU the kernel was executing on.  The
+ * buffer is lossy but counted: when full, the oldest event is
+ * overwritten and the drop is visible through dropped().
+ *
+ * Alongside the raw event stream the sink maintains per-operation
+ * latency histograms (log2 buckets of simulated nanoseconds), which
+ * VmSys::statistics() folds into VmStatistics.
+ *
+ * Cost discipline: a sink is attached to a SimClock; every emit site
+ * first tests the sink pointer, so disabled tracing costs one
+ * predictable branch.  Building with -DMACHVM_TRACE=OFF defines
+ * MACHVM_TRACE_DISABLED and compiles the emit sites out entirely.
+ * Tracing never charges simulated time, so it is invisible to the
+ * cost model either way.
+ */
+
+#ifndef MACH_SIM_TRACE_HH
+#define MACH_SIM_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+
+/** What a trace record describes. */
+enum class TraceEventType : std::uint8_t
+{
+    FaultBegin = 0, //!< vm_fault entered: detail=FaultType, arg0=va
+    FaultEnd,       //!< vm_fault resolved: detail=TraceFaultKind,
+                    //!< arg0=va, arg1=elapsed simulated ns
+    Pageout,        //!< one page pushed to backing store:
+                    //!< arg0=physAddr, arg1=elapsed simulated ns
+    Shootdown,      //!< TLB consistency action requested:
+                    //!< detail=ShootdownMode, arg0=start, arg1=end
+    Ipi,            //!< shootdown IPI sent: arg0=target CPU
+    PmapEnter,      //!< hardware mapping installed: detail=wired,
+                    //!< arg0=va, arg1=pa
+    PmapRemove,     //!< mappings invalidated: arg0=start, arg1=end
+    PmapProtect,    //!< permissions reduced: detail=VmProt,
+                    //!< arg0=start, arg1=end
+    PmapRemoveAll,  //!< page removed from every map [pageout]:
+                    //!< detail=ShootdownMode, arg0=physAddr
+    PmapCow,        //!< write access revoked everywhere [virtual
+                    //!< copy]: detail=ShootdownMode, arg0=physAddr
+    DiskRead,       //!< detail=0, arg0=offset, arg1=len
+    DiskWrite,      //!< detail=1 if write-behind, arg0=offset, arg1=len
+    NumTypes,
+};
+
+/** Name of an event type, for reports and test failure messages. */
+const char *traceEventName(TraceEventType type);
+
+/** How a fault was resolved (the FaultEnd detail byte). */
+enum class TraceFaultKind : std::uint8_t
+{
+    Resident = 0, //!< page already resident in the faulted object
+    ZeroFill,     //!< fresh page zero filled
+    Pagein,       //!< data supplied by a pager
+    Cow,          //!< copy-on-write page copy
+    Failed,       //!< lookup failed (bad address / protection)
+};
+
+/** Name of a fault resolution kind. */
+const char *traceFaultKindName(TraceFaultKind kind);
+
+/** One traced event. */
+struct TraceRecord
+{
+    SimTime time = 0;         //!< simulated ns at emit
+    std::uint64_t arg0 = 0;   //!< per-type, see TraceEventType
+    std::uint64_t arg1 = 0;   //!< per-type, see TraceEventType
+    CpuId cpu = 0;            //!< CPU the kernel was executing on
+    TraceEventType type = TraceEventType::FaultBegin;
+    std::uint8_t detail = 0;  //!< per-type discriminator
+};
+
+/** Which latency histogram an operation's elapsed time lands in. */
+enum class TraceLatencyKind : unsigned
+{
+    Fault = 0, //!< vm_fault entry to resolution
+    Pageout,   //!< pageOut() of one page
+    PmapOp,    //!< one pmap enter/remove/protect call
+    Shootdown, //!< one immediate shootdown dispatch round
+    Disk,      //!< one disk transfer (simulated device time)
+    NumKinds,
+};
+
+/** Name of a latency kind, for reports. */
+const char *traceLatencyKindName(TraceLatencyKind kind);
+
+/**
+ * A log2-bucketed histogram of simulated nanoseconds.  Cheap enough
+ * to update per event; rich enough for benchmarks to report counts,
+ * totals and approximate quantiles.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Bucket i holds samples with bit_width(ns) == i (0 = zero). */
+    static constexpr unsigned kBuckets = 48;
+
+    void
+    record(SimTime ns)
+    {
+        unsigned b = bucketOf(ns);
+        ++buckets_[b];
+        ++count_;
+        sum_ += ns;
+        if (count_ == 1 || ns < min_)
+            min_ = ns;
+        if (ns > max_)
+            max_ = ns;
+    }
+
+    std::uint64_t count() const { return count_; }
+    SimTime total() const { return sum_; }
+    SimTime min() const { return count_ ? min_ : 0; }
+    SimTime max() const { return max_; }
+    SimTime mean() const { return count_ ? sum_ / count_ : 0; }
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+    /** Inclusive upper bound of bucket @p i (its samples are ≤ it). */
+    static SimTime
+    bucketUpperBound(unsigned i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~SimTime(0);
+        return (SimTime(1) << i) - 1;
+    }
+
+    /**
+     * Approximate quantile: the upper bound of the first bucket at
+     * which the cumulative count reaches @p p * count (0 < p <= 1).
+     */
+    SimTime quantile(double p) const;
+
+    void merge(const LatencyHistogram &other);
+    void reset() { *this = LatencyHistogram{}; }
+
+  private:
+    static unsigned
+    bucketOf(SimTime ns)
+    {
+        unsigned w = 0;
+        while (ns) {
+            ++w;
+            ns >>= 1;
+        }
+        return w < kBuckets ? w : kBuckets - 1;
+    }
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    SimTime sum_ = 0;
+    SimTime min_ = 0;
+    SimTime max_ = 0;
+};
+
+/**
+ * The event sink: a bounded ring of TraceRecords plus the latency
+ * histograms.  Attach to a machine with
+ * machine.clock().setTraceSink(&sink); detach with nullptr.
+ */
+class TraceSink
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+
+    /** Append one event (oldest is overwritten when full). */
+    void
+    emit(TraceEventType type, CpuId cpu, SimTime time,
+         std::uint8_t detail, std::uint64_t arg0, std::uint64_t arg1)
+    {
+        TraceRecord &r = ring[next];
+        r.time = time;
+        r.cpu = cpu;
+        r.type = type;
+        r.detail = detail;
+        r.arg0 = arg0;
+        r.arg1 = arg1;
+        next = next + 1 == ring.size() ? 0 : next + 1;
+        ++total_;
+    }
+
+    /** Record an operation latency sample. */
+    void
+    recordLatency(TraceLatencyKind kind, SimTime ns)
+    {
+        hists[static_cast<unsigned>(kind)].record(ns);
+    }
+
+    /** Events currently held (≤ capacity). */
+    std::size_t
+    size() const
+    {
+        return total_ < ring.size() ? std::size_t(total_) : ring.size();
+    }
+
+    std::size_t capacity() const { return ring.size(); }
+
+    /** Events ever emitted, including overwritten ones. */
+    std::uint64_t totalEmitted() const { return total_; }
+
+    /** Events lost to ring wraparound (lossy but counted). */
+    std::uint64_t totalDropped() const { return total_ - size(); }
+
+    /** The @p i-th retained event, oldest first. */
+    const TraceRecord &
+    at(std::size_t i) const
+    {
+        std::size_t base = total_ <= ring.size() ? 0 : next;
+        std::size_t idx = base + i;
+        if (idx >= ring.size())
+            idx -= ring.size();
+        return ring[idx];
+    }
+
+    const LatencyHistogram &
+    histogram(TraceLatencyKind kind) const
+    {
+        return hists[static_cast<unsigned>(kind)];
+    }
+
+    /** Forget all events and histogram samples. */
+    void reset();
+
+  private:
+    std::vector<TraceRecord> ring;
+    std::size_t next = 0;
+    std::uint64_t total_ = 0;
+    std::array<LatencyHistogram,
+               static_cast<unsigned>(TraceLatencyKind::NumKinds)>
+        hists{};
+};
+
+/** @name Emit helpers (the per-call-site cost when tracing is off) @{ */
+
+/** True when the build carries the tracing layer at all. */
+#if defined(MACHVM_TRACE_DISABLED)
+inline constexpr bool kTraceCompiled = false;
+#else
+inline constexpr bool kTraceCompiled = true;
+#endif
+
+/** Is a sink attached (and compiled in)?  One branch when not. */
+inline bool
+traceActive(const SimClock &clock)
+{
+    if constexpr (!kTraceCompiled)
+        return false;
+    else
+        return clock.traceSink() != nullptr;
+}
+
+/** Emit an event stamped with the clock's time and current CPU. */
+inline void
+traceEmit(SimClock &clock, TraceEventType type, std::uint8_t detail,
+          std::uint64_t arg0, std::uint64_t arg1)
+{
+    if constexpr (kTraceCompiled) {
+        if (TraceSink *t = clock.traceSink())
+            t->emit(type, clock.traceCpu(), clock.now(), detail, arg0,
+                    arg1);
+    } else {
+        (void)clock;
+        (void)type;
+        (void)detail;
+        (void)arg0;
+        (void)arg1;
+    }
+}
+
+/** Record a latency sample on the attached sink, if any. */
+inline void
+traceLatency(SimClock &clock, TraceLatencyKind kind, SimTime ns)
+{
+    if constexpr (kTraceCompiled) {
+        if (TraceSink *t = clock.traceSink())
+            t->recordLatency(kind, ns);
+    } else {
+        (void)clock;
+        (void)kind;
+        (void)ns;
+    }
+}
+
+/** @} */
+
+} // namespace mach
+
+#endif // MACH_SIM_TRACE_HH

@@ -15,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "pager/pager.hh"
+#include "sim/trace.hh"
 #include "vm/vm_map.hh"
 #include "vm/vm_object.hh"
 #include "vm/vm_sys.hh"
@@ -32,6 +33,18 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
 
     VmOffset page_va = pageTrunc(va);
 
+    traceEmit(machine.clock(), TraceEventType::FaultBegin,
+              static_cast<std::uint8_t>(type), page_va, 0);
+    SimStopwatch faultWatch(machine.clock());
+    TraceFaultKind resolution = TraceFaultKind::Resident;
+    auto faultDone = [&]() {
+        traceLatency(machine.clock(), TraceLatencyKind::Fault,
+                     faultWatch.elapsed());
+        traceEmit(machine.clock(), TraceEventType::FaultEnd,
+                  static_cast<std::uint8_t>(resolution), page_va,
+                  faultWatch.elapsed());
+    };
+
     // NS32082 chip-bug workaround (paper section 5.1): the hardware
     // reports read-modify-write faults as read faults.  If a "read"
     // fault arrives for an address the pmap already maps (so a real
@@ -44,8 +57,11 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
 
     VmMap::LookupResult lr;
     KernReturn kr = map.lookup(page_va, type, lr);
-    if (kr != KernReturn::Success)
+    if (kr != KernReturn::Success) {
+        resolution = TraceFaultKind::Failed;
+        faultDone();
         return kr;
+    }
 
     VmObject *first_object = lr.object;
     VmOffset first_offset = pageTrunc(lr.offset);
@@ -95,10 +111,12 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
             page->busy = false;
             if (provided) {
                 ++stats.pageins;
+                resolution = TraceFaultKind::Pagein;
             } else {
                 // pager_data_unavailable: zero fill.
                 pmaps.zeroPage(page->physAddr);
                 ++stats.zeroFillCount;
+                resolution = TraceFaultKind::ZeroFill;
             }
             break;
         }
@@ -118,6 +136,7 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
         page = allocPage(first_object, first_offset);
         pmaps.zeroPage(page->physAddr);
         ++stats.zeroFillCount;
+        resolution = TraceFaultKind::ZeroFill;
         object = first_object;
         offset = first_offset;
         break;
@@ -142,6 +161,7 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
             page = copy;
             page->dirty = true;
             ++stats.cowFaults;
+            resolution = TraceFaultKind::Cow;
             object = first_object;
             // The write may have made an intermediate shadow
             // garbage; try to collapse the chain (section 3.5).
@@ -180,6 +200,7 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
 
     if (out_page)
         *out_page = page;
+    faultDone();
     return KernReturn::Success;
 }
 
@@ -218,6 +239,12 @@ VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
         machine.clock().charge(CostKind::FaultTrap, costs.faultTrap);
         machine.clock().charge(CostKind::Software, costs.faultSoftware);
         ++stats.faults;
+        traceEmit(machine.clock(), TraceEventType::FaultBegin,
+                  static_cast<std::uint8_t>(for_write
+                                                ? FaultType::Write
+                                                : FaultType::Read),
+                  offset, 0);
+        SimStopwatch watch(machine.clock());
         page = allocPage(object, offset);
         bool provided = false;
         // A whole-page overwrite never needs the old contents.
@@ -237,6 +264,13 @@ VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
             pmaps.zeroPage(page->physAddr);
             ++stats.zeroFillCount;
         }
+        traceLatency(machine.clock(), TraceLatencyKind::Fault,
+                     watch.elapsed());
+        traceEmit(machine.clock(), TraceEventType::FaultEnd,
+                  static_cast<std::uint8_t>(
+                      provided ? TraceFaultKind::Pagein
+                               : TraceFaultKind::ZeroFill),
+                  offset, watch.elapsed());
     }
     if (for_write)
         page->dirty = true;

@@ -26,6 +26,7 @@
 #include "base/intrusive_list.hh"
 #include "base/types.hh"
 #include "hw/machine.hh"
+#include "sim/trace.hh"
 
 namespace mach
 {
@@ -99,6 +100,21 @@ struct VmStatistics
     std::uint64_t batchedIpis = 0;     //!< IPIs sent by batch closes
     std::uint64_t batchRangesMerged = 0; //!< ranges merged at close
     std::uint64_t batchFlushes = 0;    //!< coalesced flush rounds
+    /** @} */
+
+    /**
+     * @name Per-operation latency histograms (simulated ns)
+     *
+     * Derived from the trace layer: populated only while a TraceSink
+     * is attached to the machine's clock (src/sim/trace.hh); empty
+     * otherwise.
+     * @{
+     */
+    LatencyHistogram faultLatency;     //!< vm_fault entry→resolution
+    LatencyHistogram pageoutLatency;   //!< pageOut() per page
+    LatencyHistogram pmapOpLatency;    //!< pmap enter/remove/protect
+    LatencyHistogram shootdownLatency; //!< immediate dispatch rounds
+    LatencyHistogram diskLatency;      //!< per disk transfer
     /** @} */
 };
 

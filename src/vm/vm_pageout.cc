@@ -15,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "pager/pager.hh"
+#include "sim/trace.hh"
 #include "vm/vm_object.hh"
 #include "vm/vm_sys.hh"
 
@@ -119,6 +120,9 @@ VmSys::pageOut(VmPage *page)
     VmObject *object = page->object;
     MACH_ASSERT(object != nullptr);
 
+    SimStopwatch watch(machine.clock());
+    const PhysAddr pa = page->physAddr;
+
     if (!object->pager) {
         // Memory with no pager is sent to the default pager (the
         // inode pager in the paper; a swap pager here).
@@ -136,6 +140,11 @@ VmSys::pageOut(VmPage *page)
     ++stats.pageouts;
     page->dirty = false;
     freePage(page);
+
+    traceLatency(machine.clock(), TraceLatencyKind::Pageout,
+                 watch.elapsed());
+    traceEmit(machine.clock(), TraceEventType::Pageout, 0, pa,
+              watch.elapsed());
 }
 
 } // namespace mach

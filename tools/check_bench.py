@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against checked-in baselines.
+
+Each bench binary run with ``--json out.json`` emits an array of
+records ``{"benchmark", "arch", "metric", "value", "unit"}``.  The
+simulation is fully deterministic (costs are charged in simulated
+nanoseconds from the cost tables, never measured from the host), so a
+drifting value means the *model* changed — exactly what a perf gate
+should catch.
+
+Tolerances are driven by the record's unit:
+
+  count   exact match (fault counts, IPI counts, chain lengths)
+  ns      relative tolerance (default 2%) — absorbs deliberate
+          rounding while still failing loudly on a 10% cost-table
+          perturbation
+  ratio   same relative tolerance as ns
+
+Usage:
+    check_bench.py --baseline-dir bench/baselines results/*.json
+    check_bench.py --baseline-dir bench/baselines --update results/*.json
+
+With ``--update`` the result files are rewritten into the baseline
+directory (one ``<benchmark>.json`` per benchmark), which is how the
+baselines are regenerated after an intentional model change.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REL_TOL = 0.02
+
+def key(rec):
+    return (rec["benchmark"], rec["arch"], rec["metric"])
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    for rec in data:
+        for field in ("benchmark", "arch", "metric", "value", "unit"):
+            if field not in rec:
+                raise ValueError(f"{path}: record missing '{field}': {rec}")
+    return data
+
+def load_dir(dirname):
+    records = {}
+    for name in sorted(os.listdir(dirname)):
+        if not name.endswith(".json"):
+            continue
+        for rec in load_records(os.path.join(dirname, name)):
+            records[key(rec)] = rec
+    return records
+
+def compare(baseline, results, rel_tol):
+    """Return a list of human-readable failure strings."""
+    failures = []
+    for k, rec in sorted(results.items()):
+        base = baseline.get(k)
+        if base is None:
+            failures.append(
+                f"NEW METRIC {'/'.join(k)} = {rec['value']} "
+                f"(not in baseline; run with --update to accept)")
+            continue
+        got, want, unit = rec["value"], base["value"], rec["unit"]
+        if unit != base["unit"]:
+            failures.append(
+                f"UNIT CHANGE {'/'.join(k)}: {base['unit']} -> {unit}")
+            continue
+        if unit == "count":
+            ok = got == want
+            detail = f"{got} != {want} (count: exact)"
+        else:
+            denom = max(abs(want), 1e-12)
+            rel = abs(got - want) / denom
+            ok = rel <= rel_tol
+            detail = (f"{got} vs {want} "
+                      f"(rel drift {rel:.4f} > {rel_tol})")
+        if not ok:
+            failures.append(f"DRIFT {'/'.join(k)}: {detail}")
+
+    covered = {k[0] for k in results}
+    for k in sorted(baseline):
+        if k[0] in covered and k not in results:
+            failures.append(
+                f"MISSING METRIC {'/'.join(k)} "
+                f"(in baseline but not in results; "
+                f"run with --update to drop)")
+    return failures
+
+def update_baselines(result_files, baseline_dir):
+    by_bench = {}
+    for path in result_files:
+        for rec in load_records(path):
+            by_bench.setdefault(rec["benchmark"], []).append(rec)
+    os.makedirs(baseline_dir, exist_ok=True)
+    for bench, recs in sorted(by_bench.items()):
+        out = os.path.join(baseline_dir, f"{bench}.json")
+        with open(out, "w") as f:
+            json.dump(recs, f, indent=2)
+            f.write("\n")
+        print(f"updated {out} ({len(recs)} metrics)")
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+",
+                    help="JSON files produced by bench --json")
+    ap.add_argument("--baseline-dir", default="bench/baselines",
+                    help="directory of checked-in baseline JSONs")
+    ap.add_argument("--rel-tol", type=float, default=REL_TOL,
+                    help="relative tolerance for ns/ratio metrics")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baselines from the result files")
+    args = ap.parse_args(argv)
+
+    if args.update:
+        update_baselines(args.results, args.baseline_dir)
+        return 0
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"error: baseline dir '{args.baseline_dir}' not found",
+              file=sys.stderr)
+        return 2
+
+    baseline = load_dir(args.baseline_dir)
+    results = {}
+    for path in args.results:
+        for rec in load_records(path):
+            results[key(rec)] = rec
+
+    failures = compare(baseline, results, args.rel_tol)
+    n = len(results)
+    if failures:
+        print(f"check_bench: {len(failures)} failure(s) "
+              f"across {n} metrics:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"check_bench: all {n} metrics within tolerance "
+          f"({len(baseline)} baseline entries)")
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())
