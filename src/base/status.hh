@@ -34,6 +34,62 @@ enum class KernReturn : int
     ResourceShortage = 8,
 };
 
+/**
+ * Result of one pager or simulated-device I/O operation.
+ *
+ * The paper's pager interface (Table 3-1) has no failure channel —
+ * pager_data_provided / pager_data_unavailable are the only answers.
+ * Production VM stacks treat pager I/O as fallible; this enum is the
+ * failure surface threaded through Pager::dataRequest / dataWrite,
+ * SimDisk and SimFs so the machine-independent layer can degrade
+ * gracefully (retry, re-dirty, or report KERN_MEMORY_ERROR) instead
+ * of asserting.
+ */
+enum class PagerResult : int
+{
+    /** Data was transferred (pager_data_provided). */
+    Ok = 0,
+    /** No data exists for the region (pager_data_unavailable); the
+     *  kernel zero-fills.  Not an error. */
+    Unavailable = 1,
+    /** The operation failed but a retry may succeed. */
+    TransientError = 2,
+    /** The operation failed and never will succeed (bad media,
+     *  backing store gone, swap exhausted). */
+    PermanentError = 3,
+    /** The backing service did not answer in time; retryable. */
+    Timeout = 4,
+};
+
+/** True if @p r reports a failed transfer (Unavailable is not one). */
+constexpr bool
+pagerResultIsError(PagerResult r)
+{
+    return r == PagerResult::TransientError ||
+        r == PagerResult::PermanentError || r == PagerResult::Timeout;
+}
+
+/** True if a failed operation is worth retrying. */
+constexpr bool
+pagerResultIsRetryable(PagerResult r)
+{
+    return r == PagerResult::TransientError || r == PagerResult::Timeout;
+}
+
+/** Human-readable name for a PagerResult. */
+constexpr const char *
+pagerResultName(PagerResult r)
+{
+    switch (r) {
+      case PagerResult::Ok: return "OK";
+      case PagerResult::Unavailable: return "UNAVAILABLE";
+      case PagerResult::TransientError: return "TRANSIENT_ERROR";
+      case PagerResult::PermanentError: return "PERMANENT_ERROR";
+      case PagerResult::Timeout: return "TIMEOUT";
+    }
+    return "?";
+}
+
 /** Human-readable name for a KernReturn. */
 constexpr const char *
 kernReturnName(KernReturn kr)

@@ -97,8 +97,11 @@ SimFs::ensureBlocks(Inode &ino, VmSize size)
 }
 
 VmSize
-SimFs::read(FileId file, VmOffset offset, void *buf, VmSize len)
+SimFs::read(FileId file, VmOffset offset, void *buf, VmSize len,
+            PagerResult *status)
 {
+    if (status)
+        *status = PagerResult::Ok;
     const Inode &ino = inode(file);
     if (offset >= ino.size)
         return 0;
@@ -112,13 +115,19 @@ SimFs::read(FileId file, VmOffset offset, void *buf, VmSize len)
         VmOffset in_block = pos % kBlockSize;
         VmSize chunk = std::min<VmSize>(len - done,
                                         kBlockSize - in_block);
-        disk.read(ino.blocks[bi] + in_block, out + done, chunk);
+        PagerResult pr =
+            disk.read(ino.blocks[bi] + in_block, out + done, chunk);
+        if (pr != PagerResult::Ok) {
+            if (status)
+                *status = pr;
+            return done;
+        }
         done += chunk;
     }
     return len;
 }
 
-void
+PagerResult
 SimFs::write(FileId file, VmOffset offset, const void *buf, VmSize len)
 {
     Inode &ino = inode(file);
@@ -132,13 +141,17 @@ SimFs::write(FileId file, VmOffset offset, const void *buf, VmSize len)
         VmOffset in_block = pos % kBlockSize;
         VmSize chunk = std::min<VmSize>(len - done,
                                         kBlockSize - in_block);
-        disk.write(ino.blocks[bi] + in_block, in + done, chunk);
+        PagerResult pr =
+            disk.write(ino.blocks[bi] + in_block, in + done, chunk);
+        if (pr != PagerResult::Ok)
+            return pr;
         done += chunk;
     }
     ino.size = std::max<VmSize>(ino.size, offset + len);
+    return PagerResult::Ok;
 }
 
-void
+PagerResult
 SimFs::writeAsync(FileId file, VmOffset offset, const void *buf,
                   VmSize len)
 {
@@ -153,10 +166,14 @@ SimFs::writeAsync(FileId file, VmOffset offset, const void *buf,
         VmOffset in_block = pos % kBlockSize;
         VmSize chunk = std::min<VmSize>(len - done,
                                         kBlockSize - in_block);
-        disk.writeAsync(ino.blocks[bi] + in_block, in + done, chunk);
+        PagerResult pr = disk.writeAsync(ino.blocks[bi] + in_block,
+                                         in + done, chunk);
+        if (pr != PagerResult::Ok)
+            return pr;
         done += chunk;
     }
     ino.size = std::max<VmSize>(ino.size, offset + len);
+    return PagerResult::Ok;
 }
 
 std::uint64_t

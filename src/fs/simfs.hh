@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "sim/sim_disk.hh"
 
@@ -53,17 +54,21 @@ class SimFs
 
     /**
      * Read up to @p len bytes at @p offset; returns bytes read
-     * (short at EOF).  Charges disk time per block touched.
+     * (short at EOF).  Charges disk time per block touched.  A disk
+     * error (fault injection) stops the transfer; with @p status the
+     * error is reported, otherwise it is indistinguishable from a
+     * short read.
      */
-    VmSize read(FileId file, VmOffset offset, void *buf, VmSize len);
+    VmSize read(FileId file, VmOffset offset, void *buf, VmSize len,
+                PagerResult *status = nullptr);
 
     /** Write @p len bytes at @p offset, extending the file. */
-    void write(FileId file, VmOffset offset, const void *buf,
-               VmSize len);
+    PagerResult write(FileId file, VmOffset offset, const void *buf,
+                      VmSize len);
 
     /** Write-behind variant (pageout): transfer cost only. */
-    void writeAsync(FileId file, VmOffset offset, const void *buf,
-                    VmSize len);
+    PagerResult writeAsync(FileId file, VmOffset offset,
+                           const void *buf, VmSize len);
 
     /**
      * The disk address of the block containing byte @p offset, for

@@ -37,6 +37,9 @@ Kernel::Kernel(const MachineSpec &spec, KernelConfig cfg)
     kernMap = new VmMap(*vm, pmaps->kernelPmap(), mach_page,
                         machine.spec.effectiveVaLimit());
 
+    if (cfg.faultPlan.enabled())
+        setFaultPlan(cfg.faultPlan);
+
     // Bind the hardware fault path to the machine-independent fault
     // handler: the fault is resolved against the current task's map.
     machine.setFaultHandler(
@@ -49,10 +52,24 @@ Kernel::Kernel(const MachineSpec &spec, KernelConfig cfg)
         });
 }
 
+void
+Kernel::setFaultPlan(const FaultPlan &plan)
+{
+    faultInjector.configure(plan);
+    FaultInjector *inj =
+        faultInjector.enabled() ? &faultInjector : nullptr;
+    disk.setFaultInjector(inj);
+    swapDisk.setFaultInjector(inj);
+}
+
 Kernel::~Kernel()
 {
     while (!tasks.empty())
         taskTerminate(tasks.back().get());
+    // Terminate cached memory objects (writing dirty pages back)
+    // while the pagers and disks still exist; otherwise they are
+    // leaked with the cache.
+    vm->flushCache();
     kernMap->deallocateRef();
 }
 
@@ -277,7 +294,14 @@ Kernel::fileRead(const std::string &name, VmOffset offset, void *buf,
         VmOffset pos = offset + done;
         VmOffset in_page = pos & (page - 1);
         VmSize chunk = std::min<VmSize>(len - done, page - in_page);
-        VmPage *pg = vm->objectPage(obj, pos, false);
+        KernReturn kr = KernReturn::Success;
+        VmPage *pg = vm->objectPage(obj, pos, false, false, &kr);
+        if (!pg) {
+            // Backing store failed; report the bytes that did arrive.
+            obj->deallocate();
+            *got = done;
+            return kr;
+        }
         machine.memory().read(pg->physAddr + in_page, out + done,
                               chunk);
         done += chunk;
@@ -309,7 +333,12 @@ Kernel::fileWrite(const std::string &name, VmOffset offset,
         VmOffset in_page = pos & (page - 1);
         VmSize chunk = std::min<VmSize>(len - done, page - in_page);
         bool overwrite = in_page == 0 && chunk == page;
-        VmPage *pg = vm->objectPage(obj, pos, true, overwrite);
+        KernReturn kr = KernReturn::Success;
+        VmPage *pg = vm->objectPage(obj, pos, true, overwrite, &kr);
+        if (!pg) {
+            obj->deallocate();
+            return kr;
+        }
         machine.memory().write(pg->physAddr + in_page, in + done,
                                chunk);
         done += chunk;

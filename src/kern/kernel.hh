@@ -25,6 +25,7 @@
 #include "pager/default_pager.hh"
 #include "pager/vnode_pager.hh"
 #include "pmap/pmap.hh"
+#include "sim/fault_inject.hh"
 #include "vm/vm_map.hh"
 #include "vm/vm_sys.hh"
 
@@ -42,6 +43,11 @@ struct KernelConfig
     /** Object cache limits (0 = unlimited pages). */
     std::size_t objectCacheLimit = 256;
     std::size_t cachedPageLimit = 0;
+    /**
+     * Deterministic I/O fault-injection plan (disabled by default).
+     * When enabled the injector is attached to both disks at boot.
+     */
+    FaultPlan faultPlan;
 };
 
 /** A booted Mach system on a simulated machine. */
@@ -61,6 +67,14 @@ class Kernel
     SimDisk swapDisk;  //!< default pager swap space
     SimFs fs;
     DefaultPager defaultPager;
+    FaultInjector faultInjector;
+
+    /**
+     * Install (or update) the fault-injection plan, attaching the
+     * injector to the file-system and swap disks.  A disabled plan
+     * detaches it, restoring error-free operation.
+     */
+    void setFaultPlan(const FaultPlan &plan);
 
     VmSize pageSize() const { return vm->pageSize(); }
     SimTime now() const { return machine.clock().now(); }

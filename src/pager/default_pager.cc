@@ -20,45 +20,64 @@ DefaultPager::allocBlock()
         freeList.pop_back();
         return b;
     }
+    if (nextBlock + pageSize > swap.capacity()) {
+        // Swap exhaustion is an unfixable backing-store failure, not
+        // a kernel bug: report it and let the pageout path keep the
+        // page in memory.
+        return kNoBlock;
+    }
     std::uint64_t b = nextBlock;
     nextBlock += pageSize;
-    if (nextBlock > swap.capacity())
-        fatal("default pager: swap space exhausted (%llu bytes)",
-              (unsigned long long)swap.capacity());
     return b;
 }
 
-bool
+PagerResult
 DefaultPager::dataRequest(VmObject *object, VmOffset offset,
                           VmPage *page, VmProt desired_access)
 {
     (void)desired_access;
     auto it = blocks.find(Key{object, offset});
     if (it == blocks.end())
-        return false;  // pager_data_unavailable
+        return PagerResult::Unavailable;  // pager_data_unavailable
     // DMA the swap block straight into the physical page.
-    swap.read(it->second, machine.memory().data(page->physAddr),
-              pageSize);
+    PagerResult pr = swap.read(
+        it->second, machine.memory().data(page->physAddr), pageSize);
+    if (pr != PagerResult::Ok)
+        return pr;
     ++pageins;
-    return true;
+    return PagerResult::Ok;
 }
 
-void
+PagerResult
 DefaultPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
 {
     Key key{object, offset};
     auto it = blocks.find(key);
     std::uint64_t block;
+    bool fresh = false;
     if (it != blocks.end()) {
         block = it->second;
     } else {
         block = allocBlock();
-        blocks[key] = block;
+        if (block == kNoBlock)
+            return PagerResult::PermanentError;
+        fresh = true;
     }
     // Pageout to swap is asynchronous (write-behind).
-    swap.writeAsync(block, machine.memory().data(page->physAddr),
-                    pageSize);
+    PagerResult pr = swap.writeAsync(
+        block, machine.memory().data(page->physAddr), pageSize);
+    if (pr != PagerResult::Ok) {
+        // A fresh block holds nothing; recycle it.  An existing
+        // block keeps its previous (stale but intact) copy — the
+        // caller keeps the page dirty, so no data is lost.
+        if (fresh)
+            freeList.push_back(block);
+        return pr;
+    }
+    if (fresh)
+        blocks[key] = block;
     ++pageouts;
+    return PagerResult::Ok;
 }
 
 bool

@@ -34,10 +34,11 @@ class DefaultPager : public Pager
      */
     DefaultPager(Machine &machine, SimDisk &swap, VmSize page_size);
 
-    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
-                     VmProt desired_access) override;
-    void dataWrite(VmObject *object, VmOffset offset,
-                   VmPage *page) override;
+    PagerResult dataRequest(VmObject *object, VmOffset offset,
+                            VmPage *page,
+                            VmProt desired_access) override;
+    PagerResult dataWrite(VmObject *object, VmOffset offset,
+                          VmPage *page) override;
     bool hasData(VmObject *object, VmOffset offset) override;
     void terminate(VmObject *object) override;
     const char *name() const override { return "default-pager"; }
@@ -66,6 +67,9 @@ class DefaultPager : public Pager
                 std::hash<std::uint64_t>()(k.offset * 0x9e3779b9u);
         }
     };
+
+    /** Sentinel: swap space exhausted. */
+    static constexpr std::uint64_t kNoBlock = ~std::uint64_t(0);
 
     std::uint64_t allocBlock();
 

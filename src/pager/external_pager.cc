@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "kern/kernel.hh"
+#include "sim/fault_inject.hh"
 #include "vm/vm_object.hh"
 
 namespace mach
@@ -45,11 +46,20 @@ ExternalPager::pump()
     drainRequests();
 }
 
-bool
+PagerResult
 ExternalPager::dataRequest(VmObject *obj, VmOffset offset, VmPage *page,
                            VmProt desired_access)
 {
     MACH_ASSERT(obj == object);
+
+    // Simulated message loss / pager failure: the request never
+    // reaches the user pager (or its reply is dropped).
+    if (inject) {
+        PagerResult pr = inject->decide(FaultOp::ExtRequest, offset);
+        if (pr != PagerResult::Ok)
+            return pr;
+    }
+
     PendingFill fill{offset, page, false, false};
     pending = &fill;
 
@@ -62,20 +72,26 @@ ExternalPager::dataRequest(VmObject *obj, VmOffset offset, VmPage *page,
     pump();
     pending = nullptr;
     if (fill.satisfied)
-        return true;
+        return PagerResult::Ok;
     if (fill.unavailable)
-        return false;
-    // A real pager may take arbitrarily long; a simulated one that
-    // never answers is a bug in the example/test.
-    panic("external pager '%s' did not answer a data request "
-          "(offset %#llx)", pagerName.c_str(),
-          (unsigned long long)offset);
+        return PagerResult::Unavailable;
+    // A real user pager may take arbitrarily long — or never answer
+    // at all.  The kernel cannot block forever on user state; report
+    // a timeout and let the fault handler retry or give up.
+    return PagerResult::Timeout;
 }
 
-void
+PagerResult
 ExternalPager::dataWrite(VmObject *obj, VmOffset offset, VmPage *page)
 {
     MACH_ASSERT(obj == object);
+
+    if (inject) {
+        PagerResult pr = inject->decide(FaultOp::ExtRequest, offset);
+        if (pr != PagerResult::Ok)
+            return pr;
+    }
+
     Message msg(MsgId::PagerDataWrite);
     msg.replyPort = &reqPort;
     msg.words = {offset};
@@ -84,6 +100,7 @@ ExternalPager::dataWrite(VmObject *obj, VmOffset offset, VmPage *page)
                                  kernel.pageSize());
     kernel.sendMessage(objPort, std::move(msg));
     pump();
+    return PagerResult::Ok;
 }
 
 void
@@ -242,9 +259,15 @@ ExternalPager::applyRequest(Message &msg)
             if (p->dirty || vm.pmaps.isModified(p->physAddr)) {
                 vm.pmaps.removeAll(p->physAddr,
                                    ShootdownMode::Immediate);
-                dataWrite(object, p->offset, p);
-                p->dirty = false;
-                vm.pmaps.resetAttrs(p->physAddr);
+                if (dataWrite(object, p->offset, p) ==
+                    PagerResult::Ok) {
+                    p->dirty = false;
+                    vm.pmaps.resetAttrs(p->physAddr);
+                } else {
+                    // The write was lost; the page stays dirty so a
+                    // later clean or pageout retries it.
+                    p->dirty = true;
+                }
             }
         }
         break;

@@ -35,6 +35,7 @@
 namespace mach
 {
 
+class FaultInjector;
 class Kernel;
 class VmObject;
 
@@ -54,12 +55,19 @@ class ExternalPager : public Pager
     Port &namePort() { return nmPort; }       //!< paging_name
     /** @} */
 
+    /**
+     * Inject faults into the message exchange with the user pager
+     * (FaultOp::ExtRequest); nullptr disables injection.
+     */
+    void setFaultInjector(FaultInjector *injector) { inject = injector; }
+
     /** @name Pager interface (kernel -> pager, Table 3-1) @{ */
     void init(VmObject *object) override;
-    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
-                     VmProt desired_access) override;
-    void dataWrite(VmObject *object, VmOffset offset,
-                   VmPage *page) override;
+    PagerResult dataRequest(VmObject *object, VmOffset offset,
+                            VmPage *page,
+                            VmProt desired_access) override;
+    PagerResult dataWrite(VmObject *object, VmOffset offset,
+                          VmPage *page) override;
     void dataUnlock(VmObject *object, VmOffset offset,
                     VmProt desired_access) override;
     bool hasData(VmObject *object, VmOffset offset) override;
@@ -109,6 +117,7 @@ class ExternalPager : public Pager
     void applyRequest(Message &msg);
 
     Kernel &kernel;
+    FaultInjector *inject = nullptr;
     std::string pagerName;
     Port objPort;
     Port reqPort;

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "kern/kernel.hh"
+#include "sim/fault_inject.hh"
 #include "vm/vm_map.hh"
 #include "vm/vm_object.hh"
 
@@ -69,16 +70,16 @@ NetMemoryServer::unexport(NetExportId id)
     exports.erase(it);
 }
 
-bool
+PagerResult
 NetMemoryServer::fetch(NetExportId id, VmOffset offset, void *buf,
                        VmSize len)
 {
     auto it = exports.find(id);
     if (it == exports.end())
-        return false;
+        return PagerResult::Unavailable;
     Export &ex = it->second;
     if (offset >= ex.size)
-        return false;
+        return PagerResult::Unavailable;
 
     // The server does normal (local) VM work to produce the bytes:
     // resident pages are copied out; absent ones page in through
@@ -92,6 +93,11 @@ NetMemoryServer::fetch(NetExportId id, VmOffset offset, void *buf,
         VmOffset in_page = pos & (page - 1);
         VmSize chunk = std::min<VmSize>(todo - done, page - in_page);
         VmPage *pg = host.vm->objectPage(ex.object, pos, false);
+        if (!pg) {
+            // The server's own backing store failed; the client sees
+            // a hard error for this page.
+            return PagerResult::PermanentError;
+        }
         host.machine.memory().read(pg->physAddr + in_page, out + done,
                                    chunk);
         done += chunk;
@@ -100,7 +106,7 @@ NetMemoryServer::fetch(NetExportId id, VmOffset offset, void *buf,
         std::memset(out + todo, 0, len - todo);
     ++pagesServed;
     bytesServed += todo;
-    return true;
+    return PagerResult::Ok;
 }
 
 NetPager::NetPager(Kernel &local, NetMemoryServer &server,
@@ -116,7 +122,7 @@ NetPager::exportSize() const
     return it == server.exports.end() ? 0 : it->second.size;
 }
 
-bool
+PagerResult
 NetPager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
                       VmProt desired_access)
 {
@@ -130,14 +136,32 @@ NetPager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
         local.machine.memory().write(page->physAddr,
                                      it->second.data(), page_size);
         ++pagesLocal;
-        return true;
+        return PagerResult::Ok;
     }
 
     // Remote fetch: one round trip plus the bytes on the wire,
-    // charged to the *local* (requesting) machine's clock.
+    // charged to the *local* (requesting) machine's clock.  A lost
+    // or timed-out round trip still costs its latency; the fetch is
+    // retried a bounded number of times before giving up.
     std::vector<std::uint8_t> buf(page_size);
-    if (!server.fetch(handle, file_off, buf.data(), page_size))
-        return false;
+    PagerResult pr = PagerResult::Ok;
+    for (unsigned attempt = 0; ; ++attempt) {
+        pr = inject ? inject->decide(FaultOp::NetFetch, file_off)
+                    : PagerResult::Ok;
+        if (pr == PagerResult::Ok)
+            pr = server.fetch(handle, file_off, buf.data(), page_size);
+        if (pr == PagerResult::Ok)
+            break;
+        if (!pagerResultIsRetryable(pr))
+            return pr;
+        // The failed round trip still went out on the wire.
+        local.machine.clock().charge(CostKind::Ipc, link.latency);
+        if (attempt >= fetchRetryLimit) {
+            ++fetchTimeouts;
+            return PagerResult::Timeout;
+        }
+        ++fetchRetries;
+    }
     local.machine.clock().charge(
         CostKind::Ipc,
         link.latency +
@@ -146,20 +170,22 @@ NetPager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
                                  page_size);
     ++pagesFetched;
     bytesFetched += page_size;
-    return true;
+    return PagerResult::Ok;
 }
 
-void
+PagerResult
 NetPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
 {
     // Copy-on-reference: modified pages never go back over the
-    // network; they live in a local store from here on.
+    // network; they live in a local store from here on.  Purely an
+    // in-memory copy, so it cannot fail.
     VmSize page_size = local.pageSize();
     VmOffset file_off = object->pagerOffset + offset;
     auto &slot = localStore[file_off];
     slot.resize(page_size);
     local.machine.memory().read(page->physAddr, slot.data(),
                                 page_size);
+    return PagerResult::Ok;
 }
 
 bool

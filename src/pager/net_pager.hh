@@ -30,6 +30,7 @@
 namespace mach
 {
 
+class FaultInjector;
 class Kernel;
 class Task;
 class VmObject;
@@ -89,8 +90,8 @@ class NetMemoryServer
     };
 
     /** Copy one page of an export into @p buf (server side work). */
-    bool fetch(NetExportId id, VmOffset offset, void *buf,
-               VmSize len);
+    PagerResult fetch(NetExportId id, VmOffset offset, void *buf,
+                      VmSize len);
 
     Kernel &host;
     std::unordered_map<NetExportId, Export> exports;
@@ -113,10 +114,11 @@ class NetPager : public Pager
     NetPager(Kernel &local, NetMemoryServer &server, NetExportId handle,
              NetworkLink link = {});
 
-    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
-                     VmProt desired_access) override;
-    void dataWrite(VmObject *object, VmOffset offset,
-                   VmPage *page) override;
+    PagerResult dataRequest(VmObject *object, VmOffset offset,
+                            VmPage *page,
+                            VmProt desired_access) override;
+    PagerResult dataWrite(VmObject *object, VmOffset offset,
+                          VmPage *page) override;
     bool hasData(VmObject *object, VmOffset offset) override;
     void terminate(VmObject *object) override;
     const char *name() const override { return "net-pager"; }
@@ -124,10 +126,24 @@ class NetPager : public Pager
     /** Size of the remote export (bytes). */
     VmSize exportSize() const;
 
+    /**
+     * Inject faults into remote fetches (FaultOp::NetFetch); nullptr
+     * disables injection.
+     */
+    void setFaultInjector(FaultInjector *injector) { inject = injector; }
+
+    /**
+     * Round trips retried after a timeout or transient network error
+     * before the fetch is reported as PagerResult::Timeout.
+     */
+    unsigned fetchRetryLimit = 3;
+
     /** @name Statistics @{ */
     std::uint64_t pagesFetched = 0;   //!< pulled over the network
     std::uint64_t bytesFetched = 0;
     std::uint64_t pagesLocal = 0;     //!< served from the local store
+    std::uint64_t fetchRetries = 0;   //!< extra round trips
+    std::uint64_t fetchTimeouts = 0;  //!< fetches that gave up
     /** @} */
 
   private:
@@ -135,6 +151,7 @@ class NetPager : public Pager
     NetMemoryServer &server;
     NetExportId handle;
     NetworkLink link;
+    FaultInjector *inject = nullptr;
 
     /**
      * Locally dirtied pages evicted by the local pageout daemon:

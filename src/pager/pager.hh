@@ -19,6 +19,7 @@
 #ifndef MACH_PAGER_PAGER_HH
 #define MACH_PAGER_PAGER_HH
 
+#include "base/status.hh"
 #include "base/types.hh"
 
 namespace mach
@@ -40,18 +41,28 @@ class Pager
      * pager_data_request: supply the Mach page of @p object at byte
      * @p offset.  The pager fills the physical page backing @p page.
      *
-     * @return true if data was provided (pager_data_provided); false
-     *         if no data exists for the region
-     *         (pager_data_unavailable — the kernel zero-fills).
+     * @return Ok if data was provided (pager_data_provided);
+     *         Unavailable if no data exists for the region
+     *         (pager_data_unavailable — the kernel zero-fills); an
+     *         error if the backing store failed.  On Transient/
+     *         Timeout errors the fault handler retries with backoff;
+     *         on PermanentError (or exhausted retries) the fault is
+     *         reported to the thread as KERN_MEMORY_ERROR.
      */
-    virtual bool dataRequest(VmObject *object, VmOffset offset,
-                             VmPage *page, VmProt desired_access) = 0;
+    virtual PagerResult dataRequest(VmObject *object, VmOffset offset,
+                                    VmPage *page,
+                                    VmProt desired_access) = 0;
 
     /**
      * pager_data_write: accept a dirty page for secondary storage.
+     *
+     * @return Ok when the data reached backing store.  On an error
+     *         the page's contents were NOT captured: the pageout path
+     *         re-dirties and reactivates the page so the data
+     *         survives in memory.
      */
-    virtual void dataWrite(VmObject *object, VmOffset offset,
-                           VmPage *page) = 0;
+    virtual PagerResult dataWrite(VmObject *object, VmOffset offset,
+                                  VmPage *page) = 0;
 
     /**
      * True if the pager holds data for (@p object, @p offset).  Used

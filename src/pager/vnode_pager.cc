@@ -13,23 +13,26 @@ VnodePager::VnodePager(Machine &machine, SimFs &fs, FileId file,
 {
 }
 
-bool
+PagerResult
 VnodePager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
                         VmProt desired_access)
 {
     (void)desired_access;
     VmOffset file_off = object->pagerOffset + offset;
     std::uint8_t *dst = machine.memory().data(page->physAddr);
-    VmSize got = fs.read(file, file_off, dst, pageSize);
+    PagerResult status = PagerResult::Ok;
+    VmSize got = fs.read(file, file_off, dst, pageSize, &status);
+    if (status != PagerResult::Ok)
+        return status;
     if (got == 0)
-        return false;  // past EOF: pager_data_unavailable
+        return PagerResult::Unavailable;  // past EOF
     if (got < pageSize)
         std::memset(dst + got, 0, pageSize - got);  // zero tail
     ++pageins;
-    return true;
+    return PagerResult::Ok;
 }
 
-void
+PagerResult
 VnodePager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
 {
     VmOffset file_off = object->pagerOffset + offset;
@@ -40,14 +43,17 @@ VnodePager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
     VmSize fsize = fs.size(file);
     if (file_off >= fsize) {
         ++pageouts;
-        return;
+        return PagerResult::Ok;
     }
     if (file_off + len > fsize)
         len = fsize - file_off;
     // Pageout writes are asynchronous (write-behind).
-    fs.writeAsync(file, file_off,
-                  machine.memory().data(page->physAddr), len);
+    PagerResult pr = fs.writeAsync(
+        file, file_off, machine.memory().data(page->physAddr), len);
+    if (pr != PagerResult::Ok)
+        return pr;
     ++pageouts;
+    return PagerResult::Ok;
 }
 
 bool

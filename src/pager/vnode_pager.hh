@@ -30,10 +30,11 @@ class VnodePager : public Pager
     VnodePager(Machine &machine, SimFs &fs, FileId file,
                VmSize page_size);
 
-    bool dataRequest(VmObject *object, VmOffset offset, VmPage *page,
-                     VmProt desired_access) override;
-    void dataWrite(VmObject *object, VmOffset offset,
-                   VmPage *page) override;
+    PagerResult dataRequest(VmObject *object, VmOffset offset,
+                            VmPage *page,
+                            VmProt desired_access) override;
+    PagerResult dataWrite(VmObject *object, VmOffset offset,
+                          VmPage *page) override;
     bool hasData(VmObject *object, VmOffset offset) override;
     const char *name() const override { return "vnode-pager"; }
 

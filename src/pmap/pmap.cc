@@ -174,6 +174,7 @@ PmapSystem::destroy(Pmap *pmap)
     // If an enclosing batch is still open its pending ranges may
     // reference the dying pmap; flush those before it goes away.
     drainBatched(*pmap);
+    onPmapDestroy(pmap);
     auto it = std::find_if(allPmaps.begin(), allPmaps.end(),
                            [&](const auto &p) { return p.get() == pmap; });
     MACH_ASSERT(it != allPmaps.end());

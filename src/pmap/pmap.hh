@@ -383,6 +383,14 @@ class PmapSystem
     virtual void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) = 0;
     /** @} */
 
+    /**
+     * Called by destroy() after the dying pmap's mappings are gone
+     * but before it is freed: modules that keep pointers to pmaps in
+     * shared hardware-resource tables (e.g. the SUN 3 context slots)
+     * must drop them here.
+     */
+    virtual void onPmapDestroy(Pmap *pmap) { (void)pmap; }
+
     /** Set a physical attribute bit (called via Pmap defaults). */
     friend class Pmap;
     void setModifiedAttr(PhysAddr pa);

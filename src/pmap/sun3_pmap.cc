@@ -315,6 +315,19 @@ Sun3PmapSystem::grantContext(Sun3Pmap *pmap)
 }
 
 void
+Sun3PmapSystem::onPmapDestroy(Pmap *pmap)
+{
+    // The context table holds raw pointers into the pmap population;
+    // a stale one would be dereferenced (and might be stolen from)
+    // long after the map is freed.
+    auto *sp = static_cast<Sun3Pmap *>(pmap);
+    if (sp->ctx >= 0) {
+        contexts[unsigned(sp->ctx)] = nullptr;
+        sp->ctx = -1;
+    }
+}
+
+void
 Sun3PmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
 {
     const MachineSpec &spec = machine.spec;

@@ -83,6 +83,7 @@ class Sun3PmapSystem : public PmapSystem
 
     void removeAllImpl(PhysAddr pa, ShootdownMode mode) override;
     void copyOnWriteImpl(PhysAddr pa, ShootdownMode mode) override;
+    void onPmapDestroy(Pmap *pmap) override;
 
     /** Bytes covered by one segment (PMEG). */
     VmSize segmentSize() const

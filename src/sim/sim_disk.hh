@@ -13,12 +13,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "sim/cost_model.hh"
 #include "sim/sim_clock.hh"
 
 namespace mach
 {
+
+class FaultInjector;
 
 /** A simulated disk device. */
 class SimDisk
@@ -34,18 +37,30 @@ class SimDisk
 
     std::uint64_t capacity() const { return store.size(); }
 
-    /** Read @p len bytes at @p offset into @p buf, charging time. */
-    void read(std::uint64_t offset, void *buf, std::uint64_t len);
+    /**
+     * Read @p len bytes at @p offset into @p buf, charging time.
+     * With a fault injector attached the transfer may fail: device
+     * time is still charged, @p buf is untouched, and the error is
+     * returned.
+     */
+    PagerResult read(std::uint64_t offset, void *buf, std::uint64_t len);
 
     /** Write @p len bytes at @p offset from @p buf, charging time. */
-    void write(std::uint64_t offset, const void *buf, std::uint64_t len);
+    PagerResult write(std::uint64_t offset, const void *buf,
+                      std::uint64_t len);
 
     /**
      * Asynchronous (write-behind) write: the seek/rotate latency
      * overlaps with computation, so only the transfer is charged.
      */
-    void writeAsync(std::uint64_t offset, const void *buf,
-                    std::uint64_t len);
+    PagerResult writeAsync(std::uint64_t offset, const void *buf,
+                           std::uint64_t len);
+
+    /**
+     * Attach a fault injector (nullptr detaches).  Disabled or
+     * absent injectors cost one branch per operation.
+     */
+    void setFaultInjector(FaultInjector *injector) { inject = injector; }
 
     /** Number of read operations performed. */
     std::uint64_t readOps() const { return reads; }
@@ -53,16 +68,24 @@ class SimDisk
     std::uint64_t writeOps() const { return writes; }
     /** Total bytes transferred in either direction. */
     std::uint64_t bytesTransferred() const { return bytes; }
+    /** Operations failed by the fault injector. */
+    std::uint64_t ioErrors() const { return errors; }
 
   private:
     void checkRange(std::uint64_t offset, std::uint64_t len) const;
 
+    /** Consult the injector; on error charge device time + count. */
+    PagerResult injectionFor(bool is_write, std::uint64_t offset,
+                             std::uint64_t len);
+
     SimClock &clock;
     const CostModel &costs;
     std::vector<std::uint8_t> store;
+    FaultInjector *inject = nullptr;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t errors = 0;
 };
 
 } // namespace mach

@@ -21,6 +21,9 @@ traceEventName(TraceEventType type)
       case TraceEventType::PmapCow: return "pmap_cow";
       case TraceEventType::DiskRead: return "disk_read";
       case TraceEventType::DiskWrite: return "disk_write";
+      case TraceEventType::IoError: return "io_error";
+      case TraceEventType::IoRetry: return "io_retry";
+      case TraceEventType::IoRecovered: return "io_recovered";
       case TraceEventType::NumTypes: break;
     }
     return "?";
@@ -35,6 +38,7 @@ traceFaultKindName(TraceFaultKind kind)
       case TraceFaultKind::Pagein: return "pagein";
       case TraceFaultKind::Cow: return "cow";
       case TraceFaultKind::Failed: return "failed";
+      case TraceFaultKind::Error: return "error";
     }
     return "?";
 }

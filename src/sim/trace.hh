@@ -56,6 +56,12 @@ enum class TraceEventType : std::uint8_t
                     //!< copy]: detail=ShootdownMode, arg0=physAddr
     DiskRead,       //!< detail=0, arg0=offset, arg1=len
     DiskWrite,      //!< detail=1 if write-behind, arg0=offset, arg1=len
+    IoError,        //!< pager/disk operation failed:
+                    //!< detail=PagerResult, arg0=offset, arg1=FaultOp
+    IoRetry,        //!< failed operation retried after backoff:
+                    //!< detail=FaultOp, arg0=offset, arg1=backoff ns
+    IoRecovered,    //!< operation succeeded after >=1 failure:
+                    //!< detail=FaultOp, arg0=offset, arg1=attempts
     NumTypes,
 };
 
@@ -70,6 +76,7 @@ enum class TraceFaultKind : std::uint8_t
     Pagein,       //!< data supplied by a pager
     Cow,          //!< copy-on-write page copy
     Failed,       //!< lookup failed (bad address / protection)
+    Error,        //!< pagein failed; KERN_MEMORY_ERROR to the thread
 };
 
 /** Name of a fault resolution kind. */

@@ -15,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "pager/pager.hh"
+#include "sim/fault_inject.hh"
 #include "sim/trace.hh"
 #include "vm/vm_map.hh"
 #include "vm/vm_object.hh"
@@ -93,8 +94,27 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
 
         page = resident.lookup(object, offset);
         if (page) {
-            MACH_ASSERT(!page->busy && !page->absent);
-            break;
+            // The page may be busy (being filled by another fault or
+            // written by the pageout daemon) or absent (allocated,
+            // data not yet arrived).  Wait for the holder to finish —
+            // each wait charges a timer tick — and re-check; the page
+            // can be freed while we sleep, restarting the walk.
+            unsigned waits = 0;
+            while (page && (page->busy || page->absent)) {
+                if (waits++ >= busyWaitLimit) {
+                    // The holder never finished (a wedged pager); do
+                    // not crash the kernel on its behalf.
+                    resolution = TraceFaultKind::Error;
+                    faultDone();
+                    return KernReturn::MemoryError;
+                }
+                ++stats.busyPageWaits;
+                machine.timerTick();
+                page = resident.lookup(object, offset);
+            }
+            if (page)
+                break;
+            continue;  // page vanished: retry this object
         }
 
         if (object->pager &&
@@ -103,20 +123,28 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
             page = allocPage(object, offset);
             page->busy = true;
             ++object->pagingInProgress;
-            machine.clock().charge(CostKind::Ipc, costs.msgOp);
-            bool provided = object->pager->dataRequest(
-                object, offset, page, faultProt(type));
-            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+            PagerResult pr =
+                pagerRequest(object, offset, page, faultProt(type));
             --object->pagingInProgress;
             page->busy = false;
-            if (provided) {
+            if (pr == PagerResult::Ok) {
                 ++stats.pageins;
                 resolution = TraceFaultKind::Pagein;
-            } else {
+            } else if (pr == PagerResult::Unavailable) {
                 // pager_data_unavailable: zero fill.
                 pmaps.zeroPage(page->physAddr);
                 ++stats.zeroFillCount;
                 resolution = TraceFaultKind::ZeroFill;
+            } else {
+                // Backing store failed hard (PermanentError, or a
+                // retryable error that outlived the retry budget).
+                // Free the never-filled page and report the fault to
+                // the thread instead of crashing the kernel.
+                freePage(page);
+                ++stats.pageinFailures;
+                resolution = TraceFaultKind::Error;
+                faultDone();
+                return KernReturn::MemoryError;
             }
             break;
         }
@@ -217,22 +245,107 @@ VmSys::wireRange(VmMap &map, VmOffset start, VmOffset end)
         // wired mapping never needs to change.
         VmMap::LookupResult lr;
         kr = map.lookup(va, FaultType::Read, lr);
-        if (kr != KernReturn::Success)
+        if (kr == KernReturn::Success) {
+            FaultType ft = protIncludes(lr.prot, VmProt::Write)
+                ? FaultType::Write : FaultType::Read;
+            kr = fault(map, va, ft);
+        }
+        if (kr != KernReturn::Success) {
+            // A mid-range failure must not leave the front of the
+            // range wired: undo the wiredCount bump on every entry
+            // and unwire the pages already faulted in.
+            map.setPageable(start, end - start, true);
             return kr;
-        FaultType ft = protIncludes(lr.prot, VmProt::Write)
-            ? FaultType::Write : FaultType::Read;
-        kr = fault(map, va, ft);
-        if (kr != KernReturn::Success)
-            return kr;
+        }
     }
     return KernReturn::Success;
 }
 
-VmPage *
-VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
-                  bool overwrite)
+SimTime
+VmSys::retryBackoff(unsigned attempt) const
+{
+    SimTime backoff = retryBackoffBase;
+    for (unsigned i = 1; i < attempt; ++i) {
+        if (backoff >= retryBackoffCap / 2)
+            return retryBackoffCap;
+        backoff <<= 1;
+    }
+    return std::min(backoff, retryBackoffCap);
+}
+
+PagerResult
+VmSys::pagerRequest(VmObject *object, VmOffset offset, VmPage *page,
+                    VmProt prot)
 {
     const CostModel &costs = machine.spec.costs;
+    for (unsigned attempt = 1; ; ++attempt) {
+        machine.clock().charge(CostKind::Ipc, costs.msgOp);
+        PagerResult pr =
+            object->pager->dataRequest(object, offset, page, prot);
+        machine.clock().charge(CostKind::Ipc, costs.msgOp);
+        if (pr == PagerResult::Ok || pr == PagerResult::Unavailable) {
+            if (attempt > 1) {
+                ++stats.transientRecoveries;
+                traceEmit(machine.clock(),
+                          TraceEventType::IoRecovered,
+                          static_cast<std::uint8_t>(FaultOp::PagerIn),
+                          offset, attempt);
+            }
+            return pr;
+        }
+        ++stats.ioErrors;
+        if (!pagerResultIsRetryable(pr) || attempt >= pageinRetryLimit)
+            return pr;
+        // Back off in simulated time before asking again.
+        SimTime backoff = retryBackoff(attempt);
+        machine.clock().charge(CostKind::Software, backoff);
+        ++stats.pageinRetries;
+        traceEmit(machine.clock(), TraceEventType::IoRetry,
+                  static_cast<std::uint8_t>(FaultOp::PagerIn), offset,
+                  backoff);
+    }
+}
+
+PagerResult
+VmSys::pagerWrite(VmObject *object, VmPage *page, bool charge_msg)
+{
+    const CostModel &costs = machine.spec.costs;
+    for (unsigned attempt = 1; ; ++attempt) {
+        if (charge_msg)
+            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+        PagerResult pr =
+            object->pager->dataWrite(object, page->offset, page);
+        if (charge_msg)
+            machine.clock().charge(CostKind::Ipc, costs.msgOp);
+        if (pr == PagerResult::Ok) {
+            if (attempt > 1) {
+                ++stats.transientRecoveries;
+                traceEmit(machine.clock(),
+                          TraceEventType::IoRecovered,
+                          static_cast<std::uint8_t>(FaultOp::PagerOut),
+                          page->offset, attempt);
+            }
+            return pr;
+        }
+        ++stats.ioErrors;
+        if (!pagerResultIsRetryable(pr) || attempt >= pageoutRetryLimit)
+            return pr;
+        SimTime backoff = retryBackoff(attempt);
+        machine.clock().charge(CostKind::Software, backoff);
+        ++stats.pageoutRetries;
+        traceEmit(machine.clock(), TraceEventType::IoRetry,
+                  static_cast<std::uint8_t>(FaultOp::PagerOut),
+                  page->offset, backoff);
+    }
+}
+
+VmPage *
+VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
+                  bool overwrite, KernReturn *kr_out)
+{
+    const CostModel &costs = machine.spec.costs;
+    if (kr_out)
+        *kr_out = KernReturn::Success;
     offset = pageTrunc(offset);
     VmPage *page = resident.lookup(object, offset);
     if (!page) {
@@ -251,14 +364,28 @@ VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
         if (!overwrite && object->pager &&
             object->pager->hasData(object, offset)) {
             ++object->pagingInProgress;
-            machine.clock().charge(CostKind::Ipc, costs.msgOp);
-            provided = object->pager->dataRequest(
+            PagerResult pr = pagerRequest(
                 object, offset, page,
                 for_write ? VmProt::Default : VmProt::Read);
-            machine.clock().charge(CostKind::Ipc, costs.msgOp);
             --object->pagingInProgress;
-            if (provided)
+            if (pr == PagerResult::Ok) {
+                provided = true;
                 ++stats.pageins;
+            } else if (pr != PagerResult::Unavailable) {
+                // Hard pagein failure: release the never-filled page
+                // and report the error to the caller.
+                freePage(page);
+                ++stats.pageinFailures;
+                traceLatency(machine.clock(), TraceLatencyKind::Fault,
+                             watch.elapsed());
+                traceEmit(machine.clock(), TraceEventType::FaultEnd,
+                          static_cast<std::uint8_t>(
+                              TraceFaultKind::Error),
+                          offset, watch.elapsed());
+                if (kr_out)
+                    *kr_out = KernReturn::MemoryError;
+                return nullptr;
+            }
         }
         if (!provided) {
             pmaps.zeroPage(page->physAddr);

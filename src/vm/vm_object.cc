@@ -111,11 +111,16 @@ VmObject::destroyPages()
         // the frame goes away.
         if (pager && !temporary &&
             (page->dirty || sys.pmaps.isModified(page->physAddr))) {
-            pager->dataWrite(this, page->offset, page);
-            ++sys.stats.pageouts;
+            if (sys.pagerWrite(this, page, false) == PagerResult::Ok)
+                ++sys.stats.pageouts;
+            // On failure the data is lost with the object — nothing
+            // left to retry against — but the loss is counted
+            // (ioErrors) and traced by pagerWrite.
         }
-        if (page->wireCount > 0)
-            page->wireCount = 0;  // object death unwires
+        // Object death unwires; go through the resident table so the
+        // wired-page count stays consistent with the queues.
+        while (page->wireCount > 0)
+            sys.resident.unwire(page);
         sys.pmaps.resetAttrs(page->physAddr);
         sys.resident.free(page);
     }

@@ -92,6 +92,15 @@ struct VmStatistics
     std::uint64_t objectCollapses = 0;
     std::uint64_t objectBypasses = 0;
 
+    /** @name Fault-injection / I/O error counters @{ */
+    std::uint64_t ioErrors = 0;        //!< pager/disk ops that failed
+    std::uint64_t pageinFailures = 0;  //!< pageins abandoned (hard)
+    std::uint64_t pageinRetries = 0;   //!< pagein attempts repeated
+    std::uint64_t pageoutRetries = 0;  //!< pageout attempts repeated
+    std::uint64_t transientRecoveries = 0; //!< retries that succeeded
+    std::uint64_t busyPageWaits = 0;   //!< faults that waited on busy
+    /** @} */
+
     /** @name TLB shootdown counters (pmap layer, section 5.2) @{ */
     std::uint64_t shootdownIpis = 0;   //!< IPIs sent for consistency
     std::uint64_t deferredFlushes = 0; //!< flushes queued to tick

@@ -132,10 +132,20 @@ VmSys::pageOut(VmPage *page)
     }
 
     ++object->pagingInProgress;
-    machine.clock().charge(CostKind::Ipc, machine.spec.costs.msgOp);
-    object->pager->dataWrite(object, page->offset, page);
-    machine.clock().charge(CostKind::Ipc, machine.spec.costs.msgOp);
+    PagerResult pr = pagerWrite(object, page, true);
     --object->pagingInProgress;
+
+    if (pr != PagerResult::Ok) {
+        // The data never reached backing store; the only good copy
+        // is the one in memory.  Keep the page dirty and put it back
+        // on the active queue — a later scan (or object teardown)
+        // will try again.
+        page->dirty = true;
+        resident.activate(page);
+        traceLatency(machine.clock(), TraceLatencyKind::Pageout,
+                     watch.elapsed());
+        return;
+    }
 
     ++stats.pageouts;
     page->dirty = false;

@@ -18,7 +18,23 @@ VmSys::VmSys(Machine &machine, PmapSystem &pmaps, VmSize mach_page_size)
     freeTarget = std::max<std::size_t>(8, resident.totalPages() / 50);
 }
 
-VmSys::~VmSys() = default;
+VmSys::~VmSys()
+{
+    // Reclaim objects still sitting in the cache.  Their pagers may
+    // already be gone (the kernel writes dirty data back with
+    // flushCache() in its own destructor, while pagers and disks
+    // are alive), so drop the data without calling back into them.
+    while (!cacheList.empty()) {
+        VmObject *victim = cacheList.front();
+        cacheList.pop_front();
+        victim->cached = false;
+        if (victim->pager) {
+            pagerIndex.erase(victim->pager);
+            victim->pager = nullptr;
+        }
+        victim->terminate();
+    }
+}
 
 VmPage *
 VmSys::allocPage(VmObject *object, VmOffset offset)

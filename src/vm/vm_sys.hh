@@ -101,9 +101,51 @@ class VmSys
     /**
      * Find or pagein one page of @p object (no map involved; used by
      * the kernel's file I/O paths).  Charges fault costs on a miss.
+     *
+     * @return the page, or nullptr if the pagein failed hard (the
+     *         failure reason is stored through @p kr_out when given).
      */
     VmPage *objectPage(VmObject *object, VmOffset offset,
-                       bool for_write, bool overwrite = false);
+                       bool for_write, bool overwrite = false,
+                       KernReturn *kr_out = nullptr);
+    /** @} */
+
+    /** @name I/O error handling @{ */
+    /**
+     * Pagein/pageout attempts made before a retryable pager error
+     * (TransientError, Timeout) is treated as permanent.
+     */
+    unsigned pageinRetryLimit = 4;
+    unsigned pageoutRetryLimit = 4;
+
+    /** First retry backoff in simulated ns; doubles per attempt. */
+    SimTime retryBackoffBase = 100000;   // 100us
+    /** Ceiling on the exponential backoff (simulated ns). */
+    SimTime retryBackoffCap = 10000000;  // 10ms
+
+    /** Timer ticks a fault waits on a busy page before giving up. */
+    unsigned busyWaitLimit = 16;
+
+    /** Backoff charged before retry number @p attempt (1-based). */
+    SimTime retryBackoff(unsigned attempt) const;
+
+    /**
+     * pager_data_request with bounded retry and exponential backoff.
+     * Charges the message costs of each exchange and maintains the
+     * error statistics and trace events.  @p page must be busy; its
+     * busy/pagingInProgress state is the caller's to manage.
+     */
+    PagerResult pagerRequest(VmObject *object, VmOffset offset,
+                             VmPage *page, VmProt prot);
+
+    /**
+     * pager_data_write with bounded retry and exponential backoff.
+     * @p charge_msg adds the IPC message cost per attempt (the
+     * pageout daemon's accounting; object teardown writes are
+     * charged by their own path).
+     */
+    PagerResult pagerWrite(VmObject *object, VmPage *page,
+                           bool charge_msg);
     /** @} */
 
     /** @name Pageout daemon (vm_pageout.cc) @{ */

@@ -184,30 +184,49 @@ TEST(PagingChain, SwappedPagesFoundThroughChain)
     EXPECT_EQ(kernel.defaultPager.pagesOnSwap(), 0u);
 }
 
-TEST(PagingChain, SwapExhaustionIsFatal)
+TEST(PagingChain, SwapExhaustionKeepsDataResident)
 {
-    // Running out of swap is an unrecoverable configuration error
-    // (fatal, not a crash).
+    // Running out of swap is no longer fatal: the default pager
+    // reports PermanentError, the pageout path keeps the dirty page
+    // in memory, and the data survives.
     MachineSpec spec = test::tinySpec(ArchType::Vax, 1);
-    spec.physMemBytes = 64 << 10;
     KernelConfig cfg;
-    cfg.swapBytes = 32 << 10;  // tiny swap
+    VmSize page = spec.hwPageSize();  // machPageMultiple is 1
+    cfg.swapBytes = 2 * page;  // room for exactly two swap blocks
     Kernel kernel(spec, cfg);
+    VmSys &vm = *kernel.vm;
 
-    Task *task = kernel.taskCreate();
-    VmOffset addr = 0;
-    ASSERT_EQ(task->map().allocate(&addr, 1 << 20, true),
-              KernReturn::Success);
-    std::vector<std::uint8_t> chunk(16 << 10, 0xdd);
-    EXPECT_EXIT(
-        {
-            for (VmOffset off = 0; off < (1 << 20);
-                 off += chunk.size()) {
-                (void)kernel.taskWrite(*task, addr + off,
-                                       chunk.data(), chunk.size());
-            }
-        },
-        ::testing::ExitedWithCode(1), "swap space exhausted");
+    VmObject *obj = VmObject::allocate(vm, 4 * page);
+    VmPage *pages[3];
+    for (unsigned i = 0; i < 3; ++i) {
+        pages[i] = vm.objectPage(obj, i * page, true);
+        ASSERT_NE(pages[i], nullptr);
+        std::vector<std::uint8_t> fill(page, std::uint8_t(0xa0 + i));
+        kernel.machine.memory().write(pages[i]->physAddr,
+                                      fill.data(), page);
+    }
+
+    // Two pageouts fit on swap; the third exhausts it.
+    vm.pageOut(pages[0]);
+    vm.pageOut(pages[1]);
+    EXPECT_EQ(kernel.defaultPager.pagesOnSwap(), 2u);
+    std::uint64_t errors0 = vm.stats.ioErrors;
+
+    vm.pageOut(pages[2]);
+
+    // The page was not freed: it stays resident, dirty, and queued.
+    EXPECT_EQ(vm.resident.lookup(obj, 2 * page), pages[2]);
+    EXPECT_TRUE(pages[2]->dirty);
+    EXPECT_EQ(pages[2]->queue, PageQueue::Active);
+    EXPECT_GT(vm.stats.ioErrors, errors0);
+    EXPECT_EQ(kernel.defaultPager.pagesOnSwap(), 2u);
+
+    // Its contents are intact.
+    std::vector<std::uint8_t> out(page);
+    kernel.machine.memory().read(pages[2]->physAddr, out.data(), page);
+    EXPECT_EQ(out, std::vector<std::uint8_t>(page, 0xa2));
+
+    obj->deallocate();
 }
 
 } // namespace

@@ -23,15 +23,16 @@ namespace
 class StubPager : public Pager
 {
   public:
-    bool
+    PagerResult
     dataRequest(VmObject *, VmOffset, VmPage *, VmProt) override
     {
         ++requests;
-        return false;
+        return PagerResult::Unavailable;
     }
-    void dataWrite(VmObject *, VmOffset, VmPage *) override
+    PagerResult dataWrite(VmObject *, VmOffset, VmPage *) override
     {
         ++writes;
+        return PagerResult::Ok;
     }
     bool hasData(VmObject *, VmOffset) override { return false; }
     void terminate(VmObject *) override { ++terminations; }
