@@ -4,18 +4,38 @@
 #include <cstdio>
 #include <cstring>
 
+#include "sim/trace_export.hh"
+
 namespace mach::bench
 {
 
 Report::Report(std::string benchmark_, int argc, char **argv)
     : benchmark(std::move(benchmark_))
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0) {
+    for (int i = 1; i < argc; ++i) {
+        if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
             path = argv[i + 1];
-            break;
+        } else if (i + 1 < argc &&
+                   std::strcmp(argv[i], "--trace-out") == 0) {
+            tracePath = argv[i + 1];
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            tracePath = argv[i] + 12;
         }
     }
+}
+
+void
+Report::attachTrace(SimClock &clock, unsigned ncpus)
+{
+    if (tracePath.empty())
+        return;
+    if (!sink) {
+        // Large enough that typical workloads fit without drops.
+        sink = std::make_unique<TraceSink>(1 << 20);
+    }
+    sink->reset();
+    traceCpus = ncpus;
+    clock.setTraceSink(sink.get());
 }
 
 void
@@ -59,6 +79,19 @@ jsonNumber(double v)
 int
 Report::finish() const
 {
+    if (!tracePath.empty()) {
+        if (!sink) {
+            std::fprintf(stderr,
+                         "--trace-out given but no workload attached "
+                         "a trace sink\n");
+            return 1;
+        }
+        if (!writeChromeTrace(*sink, traceCpus, tracePath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+    }
     if (path.empty())
         return 0;
     std::FILE *f = std::fopen(path.c_str(), "w");

@@ -18,8 +18,11 @@
 #ifndef MACH_BENCH_BENCH_REPORT_HH
 #define MACH_BENCH_BENCH_REPORT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "sim/trace.hh"
 
 namespace mach::bench
 {
@@ -31,21 +34,34 @@ class Report
      * @param benchmark name recorded in every emitted record
      *                  (conventionally the binary name)
      *
-     * Consumes `--json <path>` from the command line if present;
-     * anything else is left for the caller.
+     * Consumes `--json <path>` and `--trace-out <path>` (also the
+     * `--trace-out=<path>` spelling) from the command line if
+     * present; anything else is left for the caller.
      */
     Report(std::string benchmark, int argc, char **argv);
 
     /** True when `--json <path>` was given. */
     bool jsonRequested() const { return !path.empty(); }
 
+    /** True when `--trace-out <path>` was given. */
+    bool traceRequested() const { return !tracePath.empty(); }
+
+    /**
+     * Attach the (lazily created) trace sink to @p clock, resetting
+     * it first: the exported file covers the last attached workload.
+     * No-op unless `--trace-out` was given.  Tracing charges no
+     * simulated time, so the gated metrics are unaffected.
+     */
+    void attachTrace(SimClock &clock, unsigned ncpus);
+
     /** Record one measured value. */
     void add(const std::string &arch, const std::string &metric,
              double value, const std::string &unit);
 
     /**
-     * Write the JSON file if requested.  Returns the process exit
-     * code: non-zero when the file cannot be written.
+     * Write the JSON file and/or the Chrome trace if requested.
+     * Returns the process exit code: non-zero when a file cannot be
+     * written.
      */
     int finish() const;
 
@@ -60,6 +76,9 @@ class Report
 
     std::string benchmark;
     std::string path;
+    std::string tracePath;
+    std::unique_ptr<TraceSink> sink;
+    unsigned traceCpus = 1;
     std::vector<Record> records;
 };
 

@@ -67,9 +67,15 @@ unixZeroFill1K(const MachineSpec &spec)
 
 /** Time to fork a task with 256KB of dirty memory. */
 SimTime
-machFork256K(const MachineSpec &spec)
+machFork256K(const MachineSpec &spec, bench::Report *report = nullptr)
 {
     Kernel kernel(spec);
+    // `--trace-out`: capture this workload's event stream (the last
+    // machine measured wins; tracing charges no simulated time).
+    if (report) {
+        report->attachTrace(kernel.machine.clock(),
+                            kernel.machine.numCpus());
+    }
     Task *task = kernel.taskCreate();
     VmOffset addr = 0;
     VmSize size = 256 << 10;
@@ -220,7 +226,7 @@ main(int argc, char **argv)
          "68ms", "89ms"},
     };
     for (const ZfMachine &m : fk) {
-        SimTime mach_t = machFork256K(m.spec);
+        SimTime mach_t = machFork256K(m.spec, &report);
         SimTime unix_t = unixFork256K(m.spec);
         bench::row(m.label, ms(mach_t), ms(unix_t), m.paperMach,
                    m.paperUnix);

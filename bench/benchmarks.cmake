@@ -2,8 +2,9 @@
 # DESIGN.md section 4).  Outputs land in build/bench/ with nothing
 # else, so `for b in build/bench/*; do $b; done` runs them all.
 
-# Shared --json reporting (bench_report.hh).
+# Shared --json reporting and --trace-out export (bench_report.hh).
 add_library(bench_report STATIC ${CMAKE_SOURCE_DIR}/bench/bench_report.cc)
+target_link_libraries(bench_report PUBLIC machvm)
 
 function(machvm_bench name)
     add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)

@@ -8,12 +8,20 @@
  * every rate, paying for recovery only when errors actually occur.
  *
  *   $ build/examples/fault_ablation
+ *   $ build/examples/fault_ablation --trace-out=ablation.json
+ *
+ * With `--trace-out` the final (highest-rate) run's event stream is
+ * exported as Chrome trace JSON, loadable in Perfetto and analyzable
+ * with tools/trace_analyze.py.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "kern/kernel.hh"
+#include "sim/trace.hh"
+#include "sim/trace_export.hh"
 #include "vm/vm_object.hh"
 
 using namespace mach;
@@ -40,12 +48,17 @@ verify(const std::vector<std::uint8_t> &got,
 }
 
 Run
-runWorkload(double rate)
+runWorkload(double rate, TraceSink *sink)
 {
     KernelConfig cfg;
     cfg.machPageMultiple = 2;  // 1K pages, as a VAX Mach might boot
     Kernel kernel(MachineSpec::vax8200(), cfg);
     VmSize page = kernel.pageSize();
+    if (sink) {
+        // Reset per run: the exported file covers the last workload.
+        sink->reset();
+        kernel.machine.clock().setTraceSink(sink);
+    }
 
     // The file workload: a 1M file, read twice (cold, then through
     // the object cache).
@@ -129,15 +142,25 @@ runWorkload(double rate)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_out = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+            trace_out = argv[i] + 12;
+        else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                 i + 1 < argc)
+            trace_out = argv[++i];
+    }
+    TraceSink sink(1 << 18);
+
     std::printf("fault-injection ablation (VAX 8200, 1K pages; "
                 "1M reread + 256K fork chain)\n\n");
     std::printf("%-8s %-5s %-10s %-10s %-10s %-9s %-8s %-8s %-7s\n",
                 "rate", "ok", "read1(ms)", "read2(ms)", "fork(ms)",
                 "injected", "retries", "recover", "hard");
     for (double rate : {0.0, 0.001, 0.01}) {
-        Run r = runWorkload(rate);
+        Run r = runWorkload(rate, trace_out ? &sink : nullptr);
         std::printf("%-8.3f %-5s %-10.1f %-10.1f %-10.1f %-9llu "
                     "%-8llu %-8llu %-7llu\n",
                     rate * 100.0, r.ok ? "yes" : "NO",
@@ -153,5 +176,15 @@ main()
     std::printf("\nrate is %% of I/O sites that fail transiently "
                 "once; 'hard' would count pageins abandoned after "
                 "the retry budget (always 0 here).\n");
+    if (trace_out) {
+        if (!writeChromeTrace(sink, 1, trace_out)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out);
+            return 1;
+        }
+        std::printf("wrote %s (%llu events; load in "
+                    "https://ui.perfetto.dev or analyze with "
+                    "tools/trace_analyze.py)\n", trace_out,
+                    (unsigned long long)sink.size());
+    }
     return 0;
 }

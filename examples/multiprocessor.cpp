@@ -6,11 +6,19 @@
  * clock (case 2), or tolerating staleness (case 3).
  *
  *   $ build/examples/multiprocessor
+ *   $ build/examples/multiprocessor --trace-out=mp.json
+ *
+ * With `--trace-out` the run's event stream — per-CPU fault spans
+ * and IPI flow arrows between CPU tracks — is exported as Chrome
+ * trace JSON, loadable in Perfetto.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "kern/kernel.hh"
+#include "sim/trace.hh"
+#include "sim/trace_export.hh"
 #include "vm/vm_user.hh"
 
 using namespace mach;
@@ -61,9 +69,22 @@ demonstrate(Kernel &kernel, Task *task, VmOffset addr, VmSize size,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_out = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+            trace_out = argv[i] + 12;
+        else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                 i + 1 < argc)
+            trace_out = argv[++i];
+    }
+
+    // Outlives the kernel: teardown still emits trace events.
+    TraceSink sink(1 << 18);
     Kernel kernel(MachineSpec::encoreMultimax(4));
+    if (trace_out)
+        kernel.machine.clock().setTraceSink(&sink);
     std::printf("booted on %s with %u CPUs\n",
                 kernel.machine.spec.name.c_str(),
                 kernel.machine.numCpus());
@@ -92,6 +113,17 @@ main()
     std::printf("\npageout path (case 2): %llu flushes were "
                 "deferred to timer ticks so far\n",
                 (unsigned long long)kernel.pmaps->deferredFlushes);
+    if (trace_out) {
+        if (!writeChromeTrace(sink, kernel.machine.numCpus(),
+                              trace_out)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out);
+            return 1;
+        }
+        std::printf("wrote %s (%llu events; load in "
+                    "https://ui.perfetto.dev or analyze with "
+                    "tools/trace_analyze.py)\n", trace_out,
+                    (unsigned long long)sink.size());
+    }
     std::printf("done.\n");
     return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "sim/trace.hh"
 
 namespace mach
 {
@@ -21,6 +22,8 @@ BufferCache::flush(Buffer &buf)
     if (!buf.dirty)
         return;
     // Write-behind: the flush overlaps with computation.
+    traceEmit(clock, TraceEventType::BufWriteback, 0, buf.blockAddr,
+              SimFs::kBlockSize);
     fs.getDisk().writeAsync(buf.blockAddr, buf.data.data(),
                             SimFs::kBlockSize);
     buf.dirty = false;
@@ -35,11 +38,13 @@ BufferCache::getBlock(std::uint64_t block_addr, bool whole_block_write)
     auto it = index.find(block_addr);
     if (it != index.end()) {
         ++hitCount;
+        traceEmit(clock, TraceEventType::BufHit, 0, block_addr, 0);
         lru.splice(lru.begin(), lru, it->second);
         return lru.begin();
     }
 
     ++missCount;
+    traceEmit(clock, TraceEventType::BufMiss, 0, block_addr, 0);
     if (lru.size() >= numBuffers) {
         // Evict (and flush) the least recently used buffer.
         flush(lru.back());

@@ -87,6 +87,7 @@ Kernel::taskCreate(Task *parent, bool inherit_memory)
                         machine.spec.userVaLimit);
     }
     auto *task = new Task(*this, nextTaskId++, pmap, map);
+    map->ownerTask = task->id();
     tasks.emplace_back(task);
     return task;
 }
@@ -134,12 +135,14 @@ Kernel::switchTo(Task *task, CpuId cpu)
     MACH_ASSERT(cpu < machine.numCpus());
     if (current[cpu] == task) {
         machine.setCurrentCpu(cpu);
+        machine.clock().setTraceTask(task ? task->id() : 0);
         return;
     }
     if (current[cpu])
         current[cpu]->getPmap()->deactivate(cpu);
     current[cpu] = task;
     machine.setCurrentCpu(cpu);
+    machine.clock().setTraceTask(task ? task->id() : 0);
     if (task) {
         // pmap_activate: machine-independent code informs the pmap
         // which processor is using which map (section 3.6).

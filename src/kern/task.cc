@@ -20,4 +20,12 @@ Task::~Task()
     addressMap->deallocateRef();
 }
 
+TaskVmInfo
+Task::vmInfo()
+{
+    TaskVmInfo info;
+    vmTaskInfo(*kernel.vm, *addressMap, &info);
+    return info;
+}
+
 } // namespace mach

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ipc/port.hh"
+#include "vm/vm_user.hh"
 
 namespace mach
 {
@@ -42,6 +43,12 @@ class Task
     Kernel &getKernel() { return kernel; }
 
     unsigned id() const { return taskId; }
+
+    /**
+     * task_info (VM half): this task's fault accounting record and
+     * current memory footprint (see vmTaskInfo in vm/vm_user.hh).
+     */
+    TaskVmInfo vmInfo();
 
     /** @name Suspension @{ */
     void suspend() { suspendCount++; }

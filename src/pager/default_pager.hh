@@ -42,6 +42,7 @@ class DefaultPager : public Pager
     bool hasData(VmObject *object, VmOffset offset) override;
     void terminate(VmObject *object) override;
     const char *name() const override { return "default-pager"; }
+    PagerKind kind() const override { return PagerKind::Default; }
 
     /** Pages currently held on swap. */
     std::size_t pagesOnSwap() const { return blocks.size(); }

@@ -73,6 +73,7 @@ class ExternalPager : public Pager
     bool hasData(VmObject *object, VmOffset offset) override;
     void terminate(VmObject *object) override;
     const char *name() const override { return pagerName.c_str(); }
+    PagerKind kind() const override { return PagerKind::External; }
     /** @} */
 
     /** @name Kernel calls made by the user pager (Table 3-2) @{ */

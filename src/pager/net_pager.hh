@@ -122,6 +122,7 @@ class NetPager : public Pager
     bool hasData(VmObject *object, VmOffset offset) override;
     void terminate(VmObject *object) override;
     const char *name() const override { return "net-pager"; }
+    PagerKind kind() const override { return PagerKind::Net; }
 
     /** Size of the remote export (bytes). */
     VmSize exportSize() const;

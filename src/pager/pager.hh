@@ -28,6 +28,30 @@ namespace mach
 class VmObject;
 struct VmPage;
 
+/** Which implementation manages a memory object (trace attribution). */
+enum class PagerKind : std::uint8_t
+{
+    Default = 0, //!< the swap (inode) pager
+    Vnode,       //!< file-backed objects
+    Net,         //!< network shared memory
+    External,    //!< user-state pager behind the message protocol
+    Other,       //!< test doubles and ad-hoc pagers
+};
+
+/** Stable name of a pager kind, for reports and trace export. */
+inline const char *
+pagerKindName(PagerKind kind)
+{
+    switch (kind) {
+      case PagerKind::Default: return "default";
+      case PagerKind::Vnode: return "vnode";
+      case PagerKind::Net: return "net";
+      case PagerKind::External: return "external";
+      case PagerKind::Other: return "other";
+    }
+    return "?";
+}
+
 /** A memory manager for memory objects. */
 class Pager
 {
@@ -89,6 +113,9 @@ class Pager
 
     /** Human-readable pager kind, for diagnostics. */
     virtual const char *name() const { return "pager"; }
+
+    /** Which implementation this is, for trace attribution. */
+    virtual PagerKind kind() const { return PagerKind::Other; }
 };
 
 } // namespace mach

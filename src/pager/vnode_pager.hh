@@ -37,6 +37,7 @@ class VnodePager : public Pager
                           VmPage *page) override;
     bool hasData(VmObject *object, VmOffset offset) override;
     const char *name() const override { return "vnode-pager"; }
+    PagerKind kind() const override { return PagerKind::Vnode; }
 
     FileId fileId() const { return file; }
 

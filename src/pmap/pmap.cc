@@ -445,7 +445,11 @@ PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
     }
 
     // Immediate (case 1): local flush plus an IPI per remote CPU.
+    // Every IPI of the round carries the same round id so the trace
+    // analyzer can recover the fan-out of each dispatch.
     SimTime t0 = machine.clock().now();
+    const std::uint64_t round = ++shootdownRoundSeq;
+    unsigned remote = 0;
     for (unsigned i = 0; i < machine.numCpus(); ++i) {
         if (!targets.test(i))
             continue;
@@ -455,12 +459,41 @@ PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
             ++shootdownIpis;
             if (batched)
                 ++batchedIpis;
-            traceEmit(machine.clock(), TraceEventType::Ipi, 0, i, 0);
+            ++remote;
+            traceEmit(machine.clock(), TraceEventType::Ipi, 0, i,
+                      round);
             machine.ipi(i, flushCpu);
         }
     }
-    traceLatency(machine.clock(), TraceLatencyKind::Shootdown,
-                 machine.clock().now() - t0);
+    SimTime waited = machine.clock().now() - t0;
+    traceLatency(machine.clock(), TraceLatencyKind::Shootdown, waited);
+    noteShootdownRound(remote, waited);
+}
+
+void
+PmapSystem::noteShootdownRound(unsigned remote_targets, SimTime wait_ns)
+{
+    if constexpr (kTraceCompiled) {
+        MetricsRegistry *reg = machine.clock().metricsRegistry();
+        if (!reg)
+            return;
+        if (shootMetrics.reg != reg) {
+            // First round under this registry: resolve the ids once.
+            shootMetrics.rounds = reg->counter("tlb.shootdown_rounds");
+            shootMetrics.remoteTargets =
+                reg->counter("tlb.shootdown_remote_targets");
+            shootMetrics.waitNs =
+                reg->histogram("tlb.shootdown_wait_ns");
+            shootMetrics.reg = reg;
+        }
+        CpuId cpu = machine.clock().traceCpu();
+        reg->add(shootMetrics.rounds, 1, cpu);
+        reg->add(shootMetrics.remoteTargets, remote_targets, cpu);
+        reg->record(shootMetrics.waitNs, wait_ns, cpu);
+    } else {
+        (void)remote_targets;
+        (void)wait_ns;
+    }
 }
 
 void

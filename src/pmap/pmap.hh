@@ -37,6 +37,7 @@
 #include "base/types.hh"
 #include "hw/machine.hh"
 #include "hw/translation.hh"
+#include "sim/metrics.hh"
 
 namespace mach
 {
@@ -358,6 +359,7 @@ class PmapSystem
     std::uint64_t batchFlushes = 0;    //!< coalesced flush rounds issued
     std::uint64_t aliasEvictions = 0;  //!< RT PC one-mapping conflicts
     std::uint64_t contextSteals = 0;   //!< SUN 3 context replacement
+    std::uint64_t shootdownRoundSeq = 0; //!< immediate rounds (trace id)
     std::uint64_t pmegSteals = 0;      //!< SUN 3 page-map-group steals
     std::uint64_t tablePagesBuilt = 0; //!< lazily constructed tables
     std::uint64_t tablePagesFreed = 0;
@@ -419,6 +421,23 @@ class PmapSystem
     /** The unbatched flush path (the pre-coalescing behavior). */
     void shootdownNow(Pmap &pmap, VmOffset start, VmOffset end,
                       ShootdownMode mode);
+
+    /**
+     * Shootdown contention metrics, registered lazily against
+     * whatever registry the clock carries so the pmap layer needs no
+     * boot-order coupling with VmSys.
+     */
+    struct ShootdownMetrics
+    {
+        MetricsRegistry *reg = nullptr; //!< registry the ids belong to
+        MetricId rounds;        //!< immediate dispatch rounds
+        MetricId remoteTargets; //!< remote CPUs interrupted
+        MetricId waitNs;        //!< histogram: wait per round (ns)
+    };
+    ShootdownMetrics shootMetrics;
+
+    /** Record one immediate-mode round into the attached registry. */
+    void noteShootdownRound(unsigned remote_targets, SimTime wait_ns);
 
     /** Issue everything the open batch accumulated in one round. */
     void flushBatch();

@@ -1,0 +1,195 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+MetricsRegistry::MetricsRegistry(unsigned ncpus_)
+    : ncpus(ncpus_ ? ncpus_ : 1)
+{
+}
+
+MetricId
+MetricsRegistry::registerMetric(const std::string &name, MetricKind kind,
+                                const std::uint64_t *bound)
+{
+    auto it = byName.find(name);
+    if (it != byName.end()) {
+        MACH_ASSERT(defs[it->second].kind == kind);
+        return MetricId{it->second};
+    }
+    Def def;
+    def.name = name;
+    def.kind = kind;
+    def.bound = bound;
+    if (!bound) {
+        if (kind == MetricKind::Histogram)
+            def.hists = std::make_unique<LatencyHistogram[]>(ncpus);
+        else
+            def.slots = std::make_unique<Slot[]>(ncpus);
+    }
+    unsigned index = unsigned(defs.size());
+    defs.push_back(std::move(def));
+    byName.emplace(name, index);
+    return MetricId{index};
+}
+
+MetricId
+MetricsRegistry::counter(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Counter, nullptr);
+}
+
+MetricId
+MetricsRegistry::gauge(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Gauge, nullptr);
+}
+
+MetricId
+MetricsRegistry::histogram(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Histogram, nullptr);
+}
+
+MetricId
+MetricsRegistry::bind(const std::string &name,
+                      const std::uint64_t *storage)
+{
+    MACH_ASSERT(storage != nullptr);
+    return registerMetric(name, MetricKind::Counter, storage);
+}
+
+void
+MetricsRegistry::add(MetricId id, std::uint64_t delta, CpuId cpu)
+{
+    if (!id.valid())
+        return;
+    Def &def = defs[id.index];
+    MACH_ASSERT(def.kind == MetricKind::Counter && !def.bound);
+    def.slots[cpu < ncpus ? cpu : 0].v.fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::addGauge(MetricId id, std::int64_t delta, CpuId cpu)
+{
+    if (!id.valid())
+        return;
+    Def &def = defs[id.index];
+    MACH_ASSERT(def.kind == MetricKind::Gauge);
+    // Two's-complement wraparound makes the summed shards correct
+    // even when one shard goes transiently "negative" (a page wired
+    // on CPU 0 and unwired on CPU 2).
+    def.slots[cpu < ncpus ? cpu : 0].v.fetch_add(
+        static_cast<std::uint64_t>(delta), std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::record(MetricId id, SimTime ns, CpuId cpu)
+{
+    if (!id.valid())
+        return;
+    Def &def = defs[id.index];
+    MACH_ASSERT(def.kind == MetricKind::Histogram);
+    def.hists[cpu < ncpus ? cpu : 0].record(ns);
+}
+
+std::uint64_t
+MetricsRegistry::value(MetricId id) const
+{
+    if (!id.valid())
+        return 0;
+    const Def &def = defs[id.index];
+    if (def.bound)
+        return *def.bound;
+    std::uint64_t sum = 0;
+    for (unsigned c = 0; c < ncpus; ++c)
+        sum += def.slots[c].v.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::int64_t
+MetricsRegistry::gaugeValue(MetricId id) const
+{
+    return static_cast<std::int64_t>(value(id));
+}
+
+LatencyHistogram
+MetricsRegistry::histogramValue(MetricId id) const
+{
+    LatencyHistogram merged;
+    if (!id.valid())
+        return merged;
+    const Def &def = defs[id.index];
+    MACH_ASSERT(def.kind == MetricKind::Histogram);
+    for (unsigned c = 0; c < ncpus; ++c)
+        merged.merge(def.hists[c]);
+    return merged;
+}
+
+MetricId
+MetricsRegistry::find(const std::string &name) const
+{
+    auto it = byName.find(name);
+    return it == byName.end() ? MetricId{} : MetricId{it->second};
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot snap;
+    for (unsigned i = 0; i < defs.size(); ++i) {
+        const Def &def = defs[i];
+        MetricId id{i};
+        switch (def.kind) {
+          case MetricKind::Counter:
+            snap.counters.emplace_back(def.name, value(id));
+            break;
+          case MetricKind::Gauge:
+            snap.gauges.emplace_back(def.name, gaugeValue(id));
+            break;
+          case MetricKind::Histogram:
+            snap.histograms.emplace_back(def.name, histogramValue(id));
+            break;
+        }
+    }
+    auto byFirst = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byFirst);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), byFirst);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), byFirst);
+    return snap;
+}
+
+std::uint64_t
+MetricsRegistry::Snapshot::counterValue(const std::string &name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (Def &def : defs) {
+        if (def.bound)
+            continue;
+        if (def.kind == MetricKind::Histogram) {
+            for (unsigned c = 0; c < ncpus; ++c)
+                def.hists[c].reset();
+        } else {
+            for (unsigned c = 0; c < ncpus; ++c)
+                def.slots[c].v.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+} // namespace mach

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * The VM metrics registry (the introspection layer's counter plane).
+ *
+ * A MetricsRegistry holds named counters, gauges and log2 latency
+ * histograms.  Metrics come in two tiers:
+ *
+ *  - *bound* metrics wrap external storage (the paper-mandated
+ *    vm_statistics counters in VmSys::stats keep their direct
+ *    `++stats.x` form — zero overhead, present in every build) and
+ *    are exposed by name through snapshot();
+ *  - *owned* metrics are allocated by the registry with one
+ *    cache-line-padded relaxed-atomic slot per CPU, so the future
+ *    host-threaded parallel kernel can increment them without
+ *    contention; snapshot() merges the shards.
+ *
+ * Cost discipline mirrors src/sim/trace.hh: the registry rides on the
+ * SimClock next to the trace sink, every emit helper first tests that
+ * pointer (one predictable branch + one relaxed increment when a
+ * registry is attached), metrics never charge simulated time, and
+ * building with -DMACHVM_TRACE=OFF compiles the emit helpers out of
+ * the hot paths entirely (tools/check_notrace.py verifies that at the
+ * symbol level).
+ *
+ * The same header defines VmAccounting, the per-task / per-object
+ * attribution record maintained at the vm_fault / vm_pageout emit
+ * sites and surfaced through the task_info-style API in vm_user.
+ */
+
+#ifndef MACH_SIM_METRICS_HH
+#define MACH_SIM_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/sim_clock.hh"
+#include "sim/trace.hh"
+
+namespace mach
+{
+
+/** What a registered metric measures. */
+enum class MetricKind : std::uint8_t
+{
+    Counter = 0, //!< monotonically increasing event count
+    Gauge,       //!< signed level (resident pages, queue depth)
+    Histogram,   //!< log2-bucketed latency distribution
+};
+
+/** Opaque handle to a registered metric (index into the registry). */
+struct MetricId
+{
+    static constexpr unsigned kInvalid = ~0u;
+    unsigned index = kInvalid;
+    bool valid() const { return index != kInvalid; }
+};
+
+/**
+ * Attribution record for one task (via its VmMap) or one VmObject:
+ * where that task's faults went, what I/O it caused.  Updated by the
+ * inline helpers below (compiled out with the trace layer), read by
+ * vmTaskInfo / the introspection tests.
+ */
+struct VmAccounting
+{
+    static constexpr unsigned kNumFaultKinds = 6;
+
+    /** Faults by resolution, indexed by TraceFaultKind. */
+    std::array<std::uint64_t, kNumFaultKinds> faultsByKind{};
+    std::uint64_t pageouts = 0; //!< pages of this object laundered
+
+    std::uint64_t
+    faults() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t k : faultsByKind)
+            n += k;
+        return n;
+    }
+
+    std::uint64_t
+    faultsOf(TraceFaultKind kind) const
+    {
+        return faultsByKind[static_cast<unsigned>(kind)];
+    }
+
+    std::uint64_t pageins() const
+    {
+        return faultsOf(TraceFaultKind::Pagein);
+    }
+    std::uint64_t zeroFills() const
+    {
+        return faultsOf(TraceFaultKind::ZeroFill);
+    }
+    std::uint64_t cowFaults() const
+    {
+        return faultsOf(TraceFaultKind::Cow);
+    }
+
+    void
+    merge(const VmAccounting &other)
+    {
+        for (unsigned i = 0; i < kNumFaultKinds; ++i)
+            faultsByKind[i] += other.faultsByKind[i];
+        pageouts += other.pageouts;
+    }
+};
+
+/**
+ * The registry proper.  Registration (boot-time, cold) hands back
+ * MetricIds; the emit paths use only those ids.  All mutation of
+ * owned metrics is relaxed-atomic on a per-CPU shard.
+ */
+class MetricsRegistry
+{
+  public:
+    explicit MetricsRegistry(unsigned ncpus = 1);
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** @name Registration (find-or-create by name) @{ */
+    MetricId counter(const std::string &name);
+    MetricId gauge(const std::string &name);
+    MetricId histogram(const std::string &name);
+
+    /**
+     * Expose an externally stored counter (e.g. a VmStatistics
+     * field) by name.  The storage must outlive the registry; it is
+     * read at snapshot time only.
+     */
+    MetricId bind(const std::string &name, const std::uint64_t *storage);
+    /** @} */
+
+    /** @name Emission (hot; relaxed, sharded) @{ */
+    void add(MetricId id, std::uint64_t delta, CpuId cpu);
+    void addGauge(MetricId id, std::int64_t delta, CpuId cpu);
+    void record(MetricId id, SimTime ns, CpuId cpu);
+    /** @} */
+
+    /** @name Snapshot / query (cold; merges shards) @{ */
+    /** Merged value of a counter or bound metric. */
+    std::uint64_t value(MetricId id) const;
+    /** Merged (summed-shard) value of a gauge. */
+    std::int64_t gaugeValue(MetricId id) const;
+    /** Merged histogram. */
+    LatencyHistogram histogramValue(MetricId id) const;
+
+    struct Snapshot
+    {
+        /** name -> merged value, counters and bound metrics. */
+        std::vector<std::pair<std::string, std::uint64_t>> counters;
+        /** name -> merged level. */
+        std::vector<std::pair<std::string, std::int64_t>> gauges;
+        /** name -> merged distribution. */
+        std::vector<std::pair<std::string, LatencyHistogram>> histograms;
+
+        /** Convenience lookup; 0 when absent. */
+        std::uint64_t counterValue(const std::string &name) const;
+    };
+
+    /** Merge every shard of every metric, sorted by name. */
+    Snapshot snapshot() const;
+
+    MetricId find(const std::string &name) const;
+    std::size_t size() const { return defs.size(); }
+    unsigned numCpus() const { return ncpus; }
+
+    /** Zero every owned metric (bound storage is not touched). */
+    void reset();
+    /** @} */
+
+  private:
+    /** One cache line per CPU so shards never false-share. */
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    struct Def
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        const std::uint64_t *bound = nullptr; //!< external storage
+        std::unique_ptr<Slot[]> slots;        //!< ncpus scalar shards
+        std::unique_ptr<LatencyHistogram[]> hists; //!< ncpus shards
+    };
+
+    MetricId registerMetric(const std::string &name, MetricKind kind,
+                            const std::uint64_t *bound);
+
+    unsigned ncpus;
+    std::vector<Def> defs;
+    std::unordered_map<std::string, unsigned> byName;
+};
+
+/**
+ * @name Emit helpers
+ *
+ * The per-call-site cost: nothing at all under MACHVM_TRACE=OFF; one
+ * branch on the clock's registry pointer otherwise.  CPU attribution
+ * reuses the clock's mirrored current CPU (see SimClock::traceCpu).
+ * @{
+ */
+
+/** Is a registry attached (and compiled in)?  One branch when not. */
+inline bool
+metricsActive(const SimClock &clock)
+{
+    if constexpr (!kTraceCompiled)
+        return false;
+    else
+        return clock.metricsRegistry() != nullptr;
+}
+
+/** Bump a counter by @p delta. */
+inline void
+metricAdd(SimClock &clock, MetricId id, std::uint64_t delta = 1)
+{
+    if constexpr (kTraceCompiled) {
+        if (MetricsRegistry *m = clock.metricsRegistry())
+            m->add(id, delta, clock.traceCpu());
+    } else {
+        (void)clock;
+        (void)id;
+        (void)delta;
+    }
+}
+
+/** Move a gauge by @p delta (may be negative). */
+inline void
+metricGauge(SimClock &clock, MetricId id, std::int64_t delta)
+{
+    if constexpr (kTraceCompiled) {
+        if (MetricsRegistry *m = clock.metricsRegistry())
+            m->addGauge(id, delta, clock.traceCpu());
+    } else {
+        (void)clock;
+        (void)id;
+        (void)delta;
+    }
+}
+
+/** Record a latency sample into a registered histogram. */
+inline void
+metricRecord(SimClock &clock, MetricId id, SimTime ns)
+{
+    if constexpr (kTraceCompiled) {
+        if (MetricsRegistry *m = clock.metricsRegistry())
+            m->record(id, ns, clock.traceCpu());
+    } else {
+        (void)clock;
+        (void)id;
+        (void)ns;
+    }
+}
+
+/**
+ * Attribute one resolved fault to an accounting record (a task's map
+ * or the satisfying object).  Enabled by the same registry switch so
+ * a detached system pays one branch.
+ */
+inline void
+acctFault(SimClock &clock, VmAccounting *acct, TraceFaultKind kind)
+{
+    if constexpr (kTraceCompiled) {
+        if (acct && clock.metricsRegistry())
+            ++acct->faultsByKind[static_cast<unsigned>(kind)];
+    } else {
+        (void)clock;
+        (void)acct;
+        (void)kind;
+    }
+}
+
+/** Attribute one laundered page to its owning object's record. */
+inline void
+acctPageout(SimClock &clock, VmAccounting *acct)
+{
+    if constexpr (kTraceCompiled) {
+        if (acct && clock.metricsRegistry())
+            ++acct->pageouts;
+    } else {
+        (void)clock;
+        (void)acct;
+    }
+}
+
+/** @} */
+
+} // namespace mach
+
+#endif // MACH_SIM_METRICS_HH

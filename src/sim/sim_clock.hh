@@ -21,6 +21,7 @@ namespace mach
 {
 
 class TraceSink;
+class MetricsRegistry;
 
 /** What kind of work a charge represents. */
 enum class CostKind : unsigned
@@ -89,12 +90,32 @@ class SimClock
     void setTraceSink(TraceSink *sink) { trace = sink; }
     CpuId traceCpu() const { return tCpu; }
     void setTraceCpu(CpuId cpu) { tCpu = cpu; }
+
+    /**
+     * The metrics registry rides here for the same reason the trace
+     * sink does: every layer that charges time already holds the
+     * clock, so metric emission is one pointer test away
+     * (src/sim/metrics.hh).  VmSys attaches its registry at
+     * construction.
+     */
+    MetricsRegistry *metricsRegistry() const { return metrics; }
+    void setMetricsRegistry(MetricsRegistry *reg) { metrics = reg; }
+
+    /**
+     * The task the kernel is currently working for (0 = none/kernel
+     * itself), mirrored by Kernel::switchTo so trace records carry
+     * per-task attribution without the VM layer knowing about tasks.
+     */
+    std::uint32_t traceTask() const { return tTask; }
+    void setTraceTask(std::uint32_t task) { tTask = task; }
     /** @} */
 
   private:
     SimTime time = 0;
     TraceSink *trace = nullptr;
+    MetricsRegistry *metrics = nullptr;
     CpuId tCpu = 0;
+    std::uint32_t tTask = 0;
     std::array<SimTime, numKinds> byKind{};
 };
 

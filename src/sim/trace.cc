@@ -24,6 +24,13 @@ traceEventName(TraceEventType type)
       case TraceEventType::IoError: return "io_error";
       case TraceEventType::IoRetry: return "io_retry";
       case TraceEventType::IoRecovered: return "io_recovered";
+      case TraceEventType::PagerIn: return "pager_in";
+      case TraceEventType::PagerOut: return "pager_out";
+      case TraceEventType::BufHit: return "buf_hit";
+      case TraceEventType::BufMiss: return "buf_miss";
+      case TraceEventType::BufWriteback: return "buf_writeback";
+      case TraceEventType::PageoutBegin: return "pageout_begin";
+      case TraceEventType::PageoutEnd: return "pageout_end";
       case TraceEventType::NumTypes: break;
     }
     return "?";

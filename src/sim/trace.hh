@@ -44,7 +44,8 @@ enum class TraceEventType : std::uint8_t
                     //!< arg0=physAddr, arg1=elapsed simulated ns
     Shootdown,      //!< TLB consistency action requested:
                     //!< detail=ShootdownMode, arg0=start, arg1=end
-    Ipi,            //!< shootdown IPI sent: arg0=target CPU
+    Ipi,            //!< shootdown IPI sent: arg0=target CPU,
+                    //!< arg1=dispatch round id
     PmapEnter,      //!< hardware mapping installed: detail=wired,
                     //!< arg0=va, arg1=pa
     PmapRemove,     //!< mappings invalidated: arg0=start, arg1=end
@@ -62,6 +63,20 @@ enum class TraceEventType : std::uint8_t
                     //!< detail=FaultOp, arg0=offset, arg1=backoff ns
     IoRecovered,    //!< operation succeeded after >=1 failure:
                     //!< detail=FaultOp, arg0=offset, arg1=attempts
+    PagerIn,        //!< pager_data_request issued: detail=PagerKind,
+                    //!< arg0=offset, arg1=object id
+    PagerOut,       //!< pager_data_write issued: detail=PagerKind,
+                    //!< arg0=offset, arg1=object id
+    BufHit,         //!< buffer cache hit: arg0=block address
+    BufMiss,        //!< buffer cache miss (read from disk):
+                    //!< arg0=block address
+    BufWriteback,   //!< dirty buffer flushed: arg0=block address,
+                    //!< arg1=len
+    PageoutBegin,   //!< pageout daemon pass entered: arg0=free pages,
+                    //!< arg1=free target
+    PageoutEnd,     //!< pageout daemon pass finished: arg0=pages
+                    //!< scanned, arg1=pages reclaimed,
+                    //!< arg2=pages laundered
     NumTypes,
 };
 
@@ -88,6 +103,8 @@ struct TraceRecord
     SimTime time = 0;         //!< simulated ns at emit
     std::uint64_t arg0 = 0;   //!< per-type, see TraceEventType
     std::uint64_t arg1 = 0;   //!< per-type, see TraceEventType
+    std::uint64_t arg2 = 0;   //!< per-type (usually VmObject id)
+    std::uint32_t task = 0;   //!< task the kernel was working for
     CpuId cpu = 0;            //!< CPU the kernel was executing on
     TraceEventType type = TraceEventType::FaultBegin;
     std::uint8_t detail = 0;  //!< per-type discriminator
@@ -192,7 +209,8 @@ class TraceSink
     /** Append one event (oldest is overwritten when full). */
     void
     emit(TraceEventType type, CpuId cpu, SimTime time,
-         std::uint8_t detail, std::uint64_t arg0, std::uint64_t arg1)
+         std::uint8_t detail, std::uint64_t arg0, std::uint64_t arg1,
+         std::uint64_t arg2 = 0, std::uint32_t task = 0)
     {
         TraceRecord &r = ring[next];
         r.time = time;
@@ -201,6 +219,8 @@ class TraceSink
         r.detail = detail;
         r.arg0 = arg0;
         r.arg1 = arg1;
+        r.arg2 = arg2;
+        r.task = task;
         next = next + 1 == ring.size() ? 0 : next + 1;
         ++total_;
     }
@@ -275,21 +295,27 @@ traceActive(const SimClock &clock)
         return clock.traceSink() != nullptr;
 }
 
-/** Emit an event stamped with the clock's time and current CPU. */
+/**
+ * Emit an event stamped with the clock's time, current CPU and
+ * current task.  @p arg2 conventionally carries the VmObject id for
+ * events that have one (see TraceEventType).
+ */
 inline void
 traceEmit(SimClock &clock, TraceEventType type, std::uint8_t detail,
-          std::uint64_t arg0, std::uint64_t arg1)
+          std::uint64_t arg0, std::uint64_t arg1,
+          std::uint64_t arg2 = 0)
 {
     if constexpr (kTraceCompiled) {
         if (TraceSink *t = clock.traceSink())
             t->emit(type, clock.traceCpu(), clock.now(), detail, arg0,
-                    arg1);
+                    arg1, arg2, clock.traceTask());
     } else {
         (void)clock;
         (void)type;
         (void)detail;
         (void)arg0;
         (void)arg1;
+        (void)arg2;
     }
 }
 

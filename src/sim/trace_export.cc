@@ -1,0 +1,284 @@
+#include "sim/trace_export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace mach
+{
+
+namespace
+{
+
+/** One rendered trace-event, sortable into timestamp order. */
+struct Ev
+{
+    SimTime ts;
+    unsigned seq;  //!< emission order, the tie-break for equal ts
+    std::string body;
+};
+
+/** @p ns rendered as the format's microseconds, no precision lost. */
+std::string
+microTs(SimTime ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    return buf;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** PagerKind names (detail byte of pager_in/pager_out); kept local
+ *  so the sim layer does not reach up into src/pager. */
+const char *
+pagerKindStr(std::uint8_t kind)
+{
+    static const char *names[] = {"default", "vnode", "net",
+                                  "external", "other"};
+    return kind < 5 ? names[kind] : "other";
+}
+
+const char *
+faultKindStr(std::uint8_t kind)
+{
+    return traceFaultKindName(static_cast<TraceFaultKind>(kind));
+}
+
+class Builder
+{
+  public:
+    explicit Builder(unsigned ncpus) : ncpus(ncpus) {}
+
+    void
+    add(SimTime ts, const char *ph, const char *name, unsigned tid,
+        const std::string &extra)
+    {
+        std::string body = "{\"name\":\"";
+        body += name;
+        body += "\",\"cat\":\"vm\",\"ph\":\"";
+        body += ph;
+        body += "\",\"ts\":";
+        body += microTs(ts);
+        body += ",\"pid\":1,\"tid\":";
+        body += u64(tid);
+        body += extra;
+        body += "}";
+        evs.push_back(Ev{ts, seq++, std::move(body)});
+    }
+
+    /** Metadata record naming the process or a track. */
+    void
+    meta(const char *what, unsigned tid, const std::string &value)
+    {
+        std::string body = "{\"name\":\"";
+        body += what;
+        body += "\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+        body += u64(tid);
+        body += ",\"args\":{\"name\":\"";
+        body += value;
+        body += "\"}}";
+        metaEvs.push_back(std::move(body));
+    }
+
+    std::string
+    finish(const TraceSink &sink)
+    {
+        std::stable_sort(evs.begin(), evs.end(),
+                         [](const Ev &a, const Ev &b) {
+                             return a.ts != b.ts ? a.ts < b.ts
+                                                 : a.seq < b.seq;
+                         });
+        std::string out = "{\"traceEvents\":[";
+        bool first = true;
+        for (const std::string &m : metaEvs) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += m;
+        }
+        for (const Ev &e : evs) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += e.body;
+        }
+        out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{";
+        out += "\"emitted\":" + u64(sink.totalEmitted());
+        out += ",\"dropped\":" + u64(sink.totalDropped());
+        out += ",\"retained\":" + u64(sink.size());
+        out += ",\"cpus\":" + u64(ncpus);
+        out += "}}\n";
+        return out;
+    }
+
+    unsigned ncpus;
+    unsigned seq = 0;
+    std::vector<Ev> evs;
+    std::vector<std::string> metaEvs;
+};
+
+} // namespace
+
+std::string
+chromeTraceJson(const TraceSink &sink, unsigned ncpus)
+{
+    if (ncpus == 0)
+        ncpus = 1;
+    const unsigned daemonTid = ncpus;  //!< track below the CPUs
+
+    Builder b(ncpus);
+    b.meta("process_name", 0, "machvm");
+    for (unsigned c = 0; c < ncpus; ++c)
+        b.meta("thread_name", c, "cpu" + std::to_string(c));
+    b.meta("thread_name", daemonTid, "pageout-daemon");
+
+    // Span bookkeeping: under ring wraparound an end event may
+    // arrive with no retained begin (demote it to an instant) and a
+    // begin may never see its end (close it at the final timestamp).
+    std::vector<unsigned> openFaults(ncpus, 0);
+    unsigned openPasses = 0;
+    SimTime lastTs = 0;
+
+    for (std::size_t i = 0; i < sink.size(); ++i) {
+        const TraceRecord &r = sink.at(i);
+        unsigned cpu = r.cpu < ncpus ? r.cpu : 0;
+        if (r.time > lastTs)
+            lastTs = r.time;
+
+        switch (r.type) {
+          case TraceEventType::FaultBegin:
+            b.add(r.time, "B", "vm_fault", cpu,
+                  ",\"args\":{\"va\":" + u64(r.arg0) +
+                      ",\"fault_type\":" + u64(r.detail) +
+                      ",\"task\":" + u64(r.task) + "}");
+            ++openFaults[cpu];
+            break;
+
+          case TraceEventType::FaultEnd: {
+            std::string args =
+                std::string(",\"args\":{\"resolution\":\"") +
+                faultKindStr(r.detail) +
+                "\",\"object\":" + u64(r.arg2) +
+                ",\"latency_ns\":" + u64(r.arg1) +
+                ",\"task\":" + u64(r.task) + "}";
+            if (openFaults[cpu] > 0) {
+                b.add(r.time, "E", "vm_fault", cpu, args);
+                --openFaults[cpu];
+            } else {
+                // Begin lost to wraparound: keep B/E balanced.
+                b.add(r.time, "i", "vm_fault_end", cpu,
+                      ",\"s\":\"t\"" + args);
+            }
+            break;
+          }
+
+          case TraceEventType::PageoutBegin:
+            b.add(r.time, "B", "pageout_pass", daemonTid,
+                  ",\"args\":{\"free_pages\":" + u64(r.arg0) +
+                      ",\"free_target\":" + u64(r.arg1) + "}");
+            ++openPasses;
+            break;
+
+          case TraceEventType::PageoutEnd: {
+            std::string args =
+                ",\"args\":{\"scanned\":" + u64(r.arg0) +
+                ",\"reclaimed\":" + u64(r.arg1) +
+                ",\"laundered\":" + u64(r.arg2) + "}";
+            if (openPasses > 0) {
+                b.add(r.time, "E", "pageout_pass", daemonTid, args);
+                --openPasses;
+            } else {
+                b.add(r.time, "i", "pageout_pass_end", daemonTid,
+                      ",\"s\":\"t\"" + args);
+            }
+            break;
+          }
+
+          case TraceEventType::Pageout: {
+            // Complete event: arg1 is the elapsed simulated ns, so
+            // the span starts that far before the record's stamp.
+            SimTime dur = r.arg1 <= r.time ? r.arg1 : r.time;
+            b.add(r.time - dur, "X", "pageout", daemonTid,
+                  ",\"dur\":" + microTs(dur) +
+                      ",\"args\":{\"pa\":" + u64(r.arg0) +
+                      ",\"object\":" + u64(r.arg2) + "}");
+            break;
+          }
+
+          case TraceEventType::Ipi: {
+            // Flow arrow from the sending CPU to the target, bound
+            // by (dispatch round, target) so ids never collide.
+            unsigned target = r.arg0 < ncpus ? unsigned(r.arg0) : 0;
+            std::string id =
+                u64(r.arg1 * (ncpus + 1) + target);
+            std::string args = ",\"args\":{\"target\":" +
+                               u64(r.arg0) +
+                               ",\"round\":" + u64(r.arg1) + "}";
+            b.add(r.time, "s", "ipi", cpu, ",\"id\":" + id + args);
+            b.add(r.time, "f", "ipi", target,
+                  ",\"bp\":\"e\",\"id\":" + id + args);
+            break;
+          }
+
+          case TraceEventType::PagerIn:
+          case TraceEventType::PagerOut:
+            b.add(r.time, "i", traceEventName(r.type), cpu,
+                  std::string(",\"s\":\"t\",\"args\":{\"pager\":\"") +
+                      pagerKindStr(r.detail) +
+                      "\",\"offset\":" + u64(r.arg0) +
+                      ",\"object\":" + u64(r.arg1) +
+                      ",\"task\":" + u64(r.task) + "}");
+            break;
+
+          default:
+            b.add(r.time, "i", traceEventName(r.type), cpu,
+                  ",\"s\":\"t\",\"args\":{\"detail\":" +
+                      u64(r.detail) + ",\"arg0\":" + u64(r.arg0) +
+                      ",\"arg1\":" + u64(r.arg1) +
+                      ",\"arg2\":" + u64(r.arg2) +
+                      ",\"task\":" + u64(r.task) + "}");
+            break;
+        }
+    }
+
+    // Close spans whose end lies beyond the retained window.
+    for (unsigned c = 0; c < ncpus; ++c) {
+        while (openFaults[c] > 0) {
+            b.add(lastTs, "E", "vm_fault", c,
+                  ",\"args\":{\"truncated\":1}");
+            --openFaults[c];
+        }
+    }
+    while (openPasses > 0) {
+        b.add(lastTs, "E", "pageout_pass", daemonTid,
+              ",\"args\":{\"truncated\":1}");
+        --openPasses;
+    }
+
+    return b.finish(sink);
+}
+
+bool
+writeChromeTrace(const TraceSink &sink, unsigned ncpus,
+                 const std::string &path)
+{
+    std::string json = chromeTraceJson(sink, ncpus);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = n == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace mach

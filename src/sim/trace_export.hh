@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chrome trace-event export of a TraceSink's ring buffer.
+ *
+ * Renders the retained events as Trace Event Format JSON loadable by
+ * Perfetto (ui.perfetto.dev) or chrome://tracing:
+ *
+ *  - one thread track per simulated CPU (faults appear as B/E
+ *    duration spans; pmap, pager, buffer-cache and I/O events as
+ *    instants);
+ *  - a "pageout-daemon" track carrying daemon passes (B/E spans) and
+ *    per-page pageout completions (X complete events);
+ *  - shootdown IPIs as flow arrows (s on the sending CPU's track,
+ *    f on the target's), bound by dispatch round id;
+ *  - metadata records naming the process and every track.
+ *
+ * Timestamps are simulated nanoseconds rendered as the format's
+ * microseconds with three decimals, so no precision is lost.  The
+ * exporter guarantees schema validity under ring wraparound: orphaned
+ * FaultEnd events (their FaultBegin was overwritten) demote to
+ * instants and still-open spans are closed at the final timestamp, so
+ * B/E pairs always balance (tools/trace_analyze.py --self-check).
+ */
+
+#ifndef MACH_SIM_TRACE_EXPORT_HH
+#define MACH_SIM_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace mach
+{
+
+/** Render @p sink's retained events as Chrome trace JSON. */
+std::string chromeTraceJson(const TraceSink &sink, unsigned ncpus);
+
+/**
+ * Write chromeTraceJson(@p sink, @p ncpus) to @p path.
+ * @return false if the file could not be written.
+ */
+bool writeChromeTrace(const TraceSink &sink, unsigned ncpus,
+                      const std::string &path);
+
+} // namespace mach
+
+#endif // MACH_SIM_TRACE_EXPORT_HH

@@ -16,6 +16,7 @@
 #include "base/logging.hh"
 #include "pager/pager.hh"
 #include "sim/fault_inject.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "vm/vm_map.hh"
 #include "vm/vm_object.hh"
@@ -38,12 +39,19 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
               static_cast<std::uint8_t>(type), page_va, 0);
     SimStopwatch faultWatch(machine.clock());
     TraceFaultKind resolution = TraceFaultKind::Resident;
+    VmObject *res_object = nullptr;  //!< object that satisfied it
     auto faultDone = [&]() {
         traceLatency(machine.clock(), TraceLatencyKind::Fault,
                      faultWatch.elapsed());
         traceEmit(machine.clock(), TraceEventType::FaultEnd,
                   static_cast<std::uint8_t>(resolution), page_va,
-                  faultWatch.elapsed());
+                  faultWatch.elapsed(),
+                  res_object ? res_object->id : 0);
+        // Attribute the fault to the faulting task (its map) and to
+        // the object it was resolved in.
+        acctFault(machine.clock(), &map.acct, resolution);
+        if (res_object)
+            acctFault(machine.clock(), &res_object->acct, resolution);
     };
 
     // NS32082 chip-bug workaround (paper section 5.1): the hardware
@@ -105,6 +113,7 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
                     // The holder never finished (a wedged pager); do
                     // not crash the kernel on its behalf.
                     resolution = TraceFaultKind::Error;
+                    res_object = object;
                     faultDone();
                     return KernReturn::MemoryError;
                 }
@@ -143,6 +152,7 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
                 freePage(page);
                 ++stats.pageinFailures;
                 resolution = TraceFaultKind::Error;
+                res_object = object;
                 faultDone();
                 return KernReturn::MemoryError;
             }
@@ -228,6 +238,7 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
 
     if (out_page)
         *out_page = page;
+    res_object = object;
     faultDone();
     return KernReturn::Success;
 }
@@ -279,6 +290,9 @@ VmSys::pagerRequest(VmObject *object, VmOffset offset, VmPage *page,
 {
     const CostModel &costs = machine.spec.costs;
     for (unsigned attempt = 1; ; ++attempt) {
+        traceEmit(machine.clock(), TraceEventType::PagerIn,
+                  static_cast<std::uint8_t>(object->pager->kind()),
+                  offset, object->id);
         machine.clock().charge(CostKind::Ipc, costs.msgOp);
         PagerResult pr =
             object->pager->dataRequest(object, offset, page, prot);
@@ -311,6 +325,9 @@ VmSys::pagerWrite(VmObject *object, VmPage *page, bool charge_msg)
 {
     const CostModel &costs = machine.spec.costs;
     for (unsigned attempt = 1; ; ++attempt) {
+        traceEmit(machine.clock(), TraceEventType::PagerOut,
+                  static_cast<std::uint8_t>(object->pager->kind()),
+                  page->offset, object->id);
         if (charge_msg)
             machine.clock().charge(CostKind::Ipc, costs.msgOp);
         PagerResult pr =
@@ -381,7 +398,9 @@ VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
                 traceEmit(machine.clock(), TraceEventType::FaultEnd,
                           static_cast<std::uint8_t>(
                               TraceFaultKind::Error),
-                          offset, watch.elapsed());
+                          offset, watch.elapsed(), object->id);
+                acctFault(machine.clock(), &object->acct,
+                          TraceFaultKind::Error);
                 if (kr_out)
                     *kr_out = KernReturn::MemoryError;
                 return nullptr;
@@ -397,7 +416,10 @@ VmSys::objectPage(VmObject *object, VmOffset offset, bool for_write,
                   static_cast<std::uint8_t>(
                       provided ? TraceFaultKind::Pagein
                                : TraceFaultKind::ZeroFill),
-                  offset, watch.elapsed());
+                  offset, watch.elapsed(), object->id);
+        acctFault(machine.clock(), &object->acct,
+                  provided ? TraceFaultKind::Pagein
+                           : TraceFaultKind::ZeroFill);
     }
     if (for_write)
         page->dirty = true;

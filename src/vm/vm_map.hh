@@ -210,6 +210,16 @@ class VmMap
     /** Use the last-fault hint in lookups (ablation knob). */
     bool useHint = true;
 
+    /** @name Introspection (src/sim/metrics.hh) @{ */
+    /** Per-task attribution: faults resolved for this map, by kind.
+     *  Maintained only while a metrics registry is attached. */
+    VmAccounting acct;
+
+    /** Owning task id (0 = kernel / sharing map); stamped by
+     *  Kernel::taskCreate for trace and accounting attribution. */
+    std::uint32_t ownerTask = 0;
+    /** @} */
+
     VmSys &sys;
 
   private:

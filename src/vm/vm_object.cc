@@ -8,7 +8,8 @@
 namespace mach
 {
 
-VmObject::VmObject(VmSys &sys, VmSize size) : sys(sys), size(size)
+VmObject::VmObject(VmSys &sys, VmSize size)
+    : sys(sys), size(size), id(sys.nextObjectId++)
 {
     ++sys.liveObjects;
     ++sys.stats.objectsCreated;

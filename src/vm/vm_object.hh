@@ -97,6 +97,16 @@ class VmObject
     VmSize size = 0;
     int refCount = 1;
 
+    /** Stable identity for trace / accounting attribution. */
+    const std::uint64_t id;
+
+    /** Per-object attribution (faults resolved here, pages
+     *  laundered); maintained only while introspection is on. */
+    VmAccounting acct;
+
+    /** Resident pages of this object currently wired. */
+    unsigned wiredPages = 0;
+
     /** @name Shadow link @{ */
     VmObject *shadow = nullptr;    //!< object this one shadows
     VmOffset shadowOffset = 0;     //!< our offset 0 within the shadow

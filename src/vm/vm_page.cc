@@ -192,6 +192,8 @@ ResidentPageTable::wire(VmPage *page)
         if (page->onQueue())
             removeFromQueue(page);
         ++nWired;
+        if (page->object)
+            ++page->object->wiredPages;
     }
 }
 
@@ -203,6 +205,8 @@ ResidentPageTable::unwire(VmPage *page)
         --nWired;
         page->queue = PageQueue::Active;
         activeQ.pushBack(page);
+        if (page->object)
+            --page->object->wiredPages;
     }
 }
 

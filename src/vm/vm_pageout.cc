@@ -15,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "pager/pager.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "vm/vm_object.hh"
 #include "vm/vm_sys.hh"
@@ -29,6 +30,13 @@ VmSys::pageoutScan()
     // reclaimable (everything wired or unclean with no pager)
     // terminates.
     std::size_t budget = resident.totalPages() * 4 + 64;
+
+    metricAdd(machine.clock(), daemonMetrics.passes);
+    if (resident.freeCount() < freeTarget)
+        metricAdd(machine.clock(), daemonMetrics.wakeups);
+    traceEmit(machine.clock(), TraceEventType::PageoutBegin, 0,
+              resident.freeCount(), freeTarget);
+    std::uint64_t scanned = 0, reclaimed = 0, laundered = 0;
 
     while (resident.freeCount() < freeTarget && budget-- > 0) {
         // Keep the inactive queue stocked: move pages from the front
@@ -61,6 +69,7 @@ VmSys::pageoutScan()
         VmPage *p = resident.firstInactive();
         if (!p)
             break;  // nothing left to reclaim
+        ++scanned;
 
         // Paper case 2: a page's frame may not be reused until timer
         // interrupts have been taken since its mappings were removed.
@@ -107,11 +116,23 @@ VmSys::pageoutScan()
         pmaps.removeAll(p->physAddr, ShootdownMode::Immediate);
 
         if (dirty) {
+            std::uint64_t done = stats.pageouts;
             pageOut(p);
+            if (stats.pageouts != done) {
+                ++laundered;
+                ++reclaimed;
+            }
         } else {
             freePage(p);
+            ++reclaimed;
         }
     }
+
+    traceEmit(machine.clock(), TraceEventType::PageoutEnd, 0, scanned,
+              reclaimed, laundered);
+    metricAdd(machine.clock(), daemonMetrics.scanned, scanned);
+    metricAdd(machine.clock(), daemonMetrics.reclaimed, reclaimed);
+    metricAdd(machine.clock(), daemonMetrics.laundered, laundered);
 }
 
 void
@@ -148,13 +169,14 @@ VmSys::pageOut(VmPage *page)
     }
 
     ++stats.pageouts;
+    acctPageout(machine.clock(), &object->acct);
     page->dirty = false;
     freePage(page);
 
     traceLatency(machine.clock(), TraceLatencyKind::Pageout,
                  watch.elapsed());
     traceEmit(machine.clock(), TraceEventType::Pageout, 0, pa,
-              watch.elapsed());
+              watch.elapsed(), object->id);
 }
 
 } // namespace mach

@@ -10,16 +10,59 @@ namespace mach
 
 VmSys::VmSys(Machine &machine, PmapSystem &pmaps, VmSize mach_page_size)
     : machine(machine), pmaps(pmaps),
-      resident(machine, mach_page_size)
+      resident(machine, mach_page_size),
+      metrics(machine.numCpus())
 {
     MACH_ASSERT(pmaps.machPageSize() == mach_page_size);
     // Keep ~2% of memory free, start reclaiming at 1%.
     freeMin = std::max<std::size_t>(4, resident.totalPages() / 100);
     freeTarget = std::max<std::size_t>(8, resident.totalPages() / 50);
+
+    // Expose the vm_statistics counters through the registry.  The
+    // storage stays in `stats` (and in the pmap layer for the
+    // shootdown counters) so the increment sites cost nothing extra.
+    metrics.bind("vm.faults", &stats.faults);
+    metrics.bind("vm.zero_fills", &stats.zeroFillCount);
+    metrics.bind("vm.cow_faults", &stats.cowFaults);
+    metrics.bind("vm.pageins", &stats.pageins);
+    metrics.bind("vm.pageouts", &stats.pageouts);
+    metrics.bind("vm.reactivations", &stats.reactivations);
+    metrics.bind("vm.lookups", &stats.lookups);
+    metrics.bind("vm.lookup_hits", &stats.hits);
+    metrics.bind("vm.objects_created", &stats.objectsCreated);
+    metrics.bind("vm.objects_cached", &stats.objectsCached);
+    metrics.bind("vm.object_collapses", &stats.objectCollapses);
+    metrics.bind("vm.object_bypasses", &stats.objectBypasses);
+    metrics.bind("vm.busy_page_waits", &stats.busyPageWaits);
+    metrics.bind("io.errors", &stats.ioErrors);
+    metrics.bind("io.pagein_failures", &stats.pageinFailures);
+    metrics.bind("io.pagein_retries", &stats.pageinRetries);
+    metrics.bind("io.pageout_retries", &stats.pageoutRetries);
+    metrics.bind("io.transient_recoveries", &stats.transientRecoveries);
+    metrics.bind("tlb.shootdown_ipis", &pmaps.shootdownIpis);
+    metrics.bind("tlb.deferred_flushes", &pmaps.deferredFlushes);
+    metrics.bind("tlb.lazy_skips", &pmaps.lazySkips);
+    metrics.bind("tlb.shootdowns_coalesced",
+                 &pmaps.shootdownsCoalesced);
+    metrics.bind("tlb.batched_ipis", &pmaps.batchedIpis);
+    metrics.bind("tlb.batch_ranges_merged", &pmaps.batchRangesMerged);
+    metrics.bind("tlb.batch_flushes", &pmaps.batchFlushes);
+
+    daemonMetrics.wakeups = metrics.counter("pageout.wakeups");
+    daemonMetrics.passes = metrics.counter("pageout.passes");
+    daemonMetrics.scanned = metrics.counter("pageout.pages_scanned");
+    daemonMetrics.reclaimed =
+        metrics.counter("pageout.pages_reclaimed");
+    daemonMetrics.laundered =
+        metrics.counter("pageout.pages_laundered");
+
+    setIntrospectionEnabled(true);
 }
 
 VmSys::~VmSys()
 {
+    if (introspectionEnabled())
+        machine.clock().setMetricsRegistry(nullptr);
     // Reclaim objects still sitting in the cache.  Their pagers may
     // already be gone (the kernel writes dirty data back with
     // flushCache() in its own destructor, while pagers and disks

@@ -20,6 +20,7 @@
 #include "base/types.hh"
 #include "hw/machine.hh"
 #include "pmap/pmap.hh"
+#include "sim/metrics.hh"
 #include "vm/vm_page.hh"
 
 namespace mach
@@ -49,7 +50,58 @@ class VmSys
     Machine &machine;
     PmapSystem &pmaps;
     ResidentPageTable resident;
+
+    /**
+     * The ad-hoc counters of vm_statistics (Table 2-1).  Every field
+     * is registered with the metrics registry below at construction
+     * (as a *bound* metric, so the hot `++stats.x` form keeps its
+     * zero cost and keeps working with tracing compiled out), which
+     * makes statistics() a view over the registry's snapshot.
+     */
     VmStatistics stats;
+
+    /**
+     * @name Introspection (src/sim/metrics.hh)
+     *
+     * The registry holds every named VM metric: the bound
+     * VmStatistics counters above, the pageout-daemon internals
+     * (wakeups, pages scanned/reclaimed/laundered per pass) and the
+     * pmap layer's shootdown contention metrics.  It is attached to
+     * the machine's clock at construction; detaching (or building
+     * with MACHVM_TRACE=OFF) turns all owned-metric and per-task /
+     * per-object accounting emission into a single dead branch.
+     * @{
+     */
+    MetricsRegistry metrics;
+
+    void
+    setIntrospectionEnabled(bool on)
+    {
+        machine.clock().setMetricsRegistry(on ? &metrics : nullptr);
+    }
+    bool
+    introspectionEnabled() const
+    {
+        return machine.clock().metricsRegistry() == &metrics;
+    }
+
+    /** Merged name -> value view of every registered metric. */
+    MetricsRegistry::Snapshot metricsSnapshot() const
+    {
+        return metrics.snapshot();
+    }
+
+    /** Pageout-daemon metric handles (vm_pageout.cc emit sites). */
+    struct DaemonMetrics
+    {
+        MetricId wakeups;   //!< passes entered with free < target
+        MetricId passes;    //!< pageoutScan() invocations
+        MetricId scanned;   //!< inactive pages examined
+        MetricId reclaimed; //!< pages freed (clean or laundered)
+        MetricId laundered; //!< dirty pages pushed to a pager
+    };
+    DaemonMetrics daemonMetrics;
+    /** @} */
 
     /** Pager used for internal objects that must be paged out. */
     Pager *defaultPager = nullptr;
@@ -197,6 +249,9 @@ class VmSys
 
     /** Registry: every live object for leak checks. */
     std::uint64_t liveObjects = 0;
+
+    /** Next VmObject::id (stable identity for trace attribution). */
+    std::uint64_t nextObjectId = 1;
 
     /** Fill a vm_statistics snapshot (Table 2-1). */
     VmStatistics statistics() const;

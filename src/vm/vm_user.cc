@@ -145,6 +145,47 @@ vmStatistics(VmSys &sys, VmStatistics *stats)
     return KernReturn::Success;
 }
 
+namespace
+{
+
+/** Count resident/wired pages of @p map's entries into @p info. */
+void
+taskInfoWalk(VmMap &map, TaskVmInfo *info)
+{
+    for (const VmMapEntry &e : map.entryList()) {
+        info->virtualSize += e.size();
+        if (e.submap) {
+            // Shared region: charge the sharers like the paper's
+            // task_status does — each sees the pages it can reach.
+            taskInfoWalk(*e.submap, info);
+            continue;
+        }
+        if (!e.object)
+            continue;  // untouched zero-fill range
+        for (const VmPage *p : e.object->pages) {
+            if (p->offset < e.offset ||
+                p->offset >= e.offset + e.size()) {
+                continue;
+            }
+            ++info->residentPages;
+            if (p->wireCount > 0)
+                ++info->wiredPages;
+        }
+    }
+}
+
+} // namespace
+
+KernReturn
+vmTaskInfo(VmSys &sys, VmMap &map, TaskVmInfo *info)
+{
+    chargeSyscall(sys);
+    *info = TaskVmInfo{};
+    info->acct = map.acct;
+    taskInfoWalk(map, info);
+    return KernReturn::Success;
+}
+
 KernReturn
 vmWire(VmSys &sys, VmMap &map, VmOffset address, VmSize size,
        bool wire)

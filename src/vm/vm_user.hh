@@ -16,6 +16,7 @@
 
 #include "base/status.hh"
 #include "base/types.hh"
+#include "sim/metrics.hh"
 
 namespace mach
 {
@@ -25,6 +26,23 @@ class VmMap;
 class Pager;
 struct VmRegionInfo;
 struct VmStatistics;
+
+/**
+ * task_info-style VM summary of one task (Table 2-1's task_status,
+ * reduced to its VM half): the accounting record maintained at the
+ * fault/pageout emit sites plus the task's current footprint.
+ */
+struct TaskVmInfo
+{
+    /** Faults resolved for this task, by kind, + pageouts charged
+     *  to the objects it maps (zero unless introspection is on). */
+    VmAccounting acct;
+
+    VmSize virtualSize = 0;       //!< bytes of mapped address space
+    std::uint64_t residentPages = 0; //!< pages resident in mapped
+                                     //!< objects (entry ranges only)
+    std::uint64_t wiredPages = 0; //!< of those, wired down
+};
 
 /**
  * vm_allocate: allocate and fill with zeros new virtual memory,
@@ -73,6 +91,13 @@ KernReturn vmRegions(VmSys &sys, VmMap &map, VmOffset *address,
 
 /** vm_statistics: statistics about the use of memory. */
 KernReturn vmStatistics(VmSys &sys, VmStatistics *stats);
+
+/**
+ * task_info (VM half): per-task fault accounting and footprint.
+ * Walks @p map (recursing through sharing maps) to size the space
+ * and count resident/wired pages of the mapped objects.
+ */
+KernReturn vmTaskInfo(VmSys &sys, VmMap &map, TaskVmInfo *info);
 
 /**
  * vm_wire: make [address, address+size) unpageable (faulting it in)

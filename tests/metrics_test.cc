@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The metrics registry (src/sim/metrics.hh): registration semantics,
+ * per-CPU shard merging, bound metrics, snapshots, reset, histogram
+ * bucket edges, and the clock-attached emit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+#include "sim/sim_clock.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(MetricsRegistryTest, RegistrationFindsOrCreates)
+{
+    MetricsRegistry reg(2);
+    MetricId a = reg.counter("vm.faults");
+    MetricId b = reg.counter("vm.faults");
+    MetricId c = reg.counter("vm.pageins");
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_NE(a.index, c.index);
+    EXPECT_EQ(reg.size(), 2u);
+
+    EXPECT_EQ(reg.find("vm.faults").index, a.index);
+    EXPECT_FALSE(reg.find("no.such").valid());
+}
+
+TEST(MetricsRegistryTest, CounterShardsMergeAcrossCpus)
+{
+    MetricsRegistry reg(4);
+    MetricId id = reg.counter("c");
+    for (CpuId cpu = 0; cpu < 4; ++cpu)
+        reg.add(id, cpu + 1, cpu); // 1+2+3+4
+    EXPECT_EQ(reg.value(id), 10u);
+}
+
+TEST(MetricsRegistryTest, GaugeGoesUpAndDown)
+{
+    MetricsRegistry reg(2);
+    MetricId id = reg.gauge("g");
+    reg.addGauge(id, 7, 0);
+    reg.addGauge(id, 5, 1);
+    reg.addGauge(id, -4, 0);
+    EXPECT_EQ(reg.gaugeValue(id), 8);
+}
+
+TEST(MetricsRegistryTest, HistogramShardsMergeAndKeepEdges)
+{
+    MetricsRegistry reg(2);
+    MetricId id = reg.histogram("h");
+    // Exact bucket-edge values: bucket index is bit_width(v), so 7
+    // and 8 land in different buckets (upper bounds 7 and 15).
+    reg.record(id, 7, 0);
+    reg.record(id, 8, 1);
+    reg.record(id, 8, 0);
+    LatencyHistogram h = reg.histogramValue(id);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), 8u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // 7 -> bucket 3 [4,7]
+    EXPECT_EQ(h.bucketCount(4), 2u); // 8 -> bucket 4 [8,15]
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(3), 7u);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(4), 15u);
+}
+
+TEST(MetricsRegistryTest, BoundMetricReadsExternalStorage)
+{
+    std::uint64_t external = 0;
+    MetricsRegistry reg(1);
+    MetricId id = reg.bind("vm.external", &external);
+    EXPECT_EQ(reg.value(id), 0u);
+    external = 42; // the ++stats.x hot path, unchanged
+    EXPECT_EQ(reg.value(id), 42u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete)
+{
+    std::uint64_t external = 9;
+    MetricsRegistry reg(2);
+    reg.bind("b.bound", &external);
+    MetricId c = reg.counter("a.counter");
+    MetricId g = reg.gauge("z.gauge");
+    MetricId h = reg.histogram("m.hist");
+    reg.add(c, 3, 1);
+    reg.addGauge(g, -2, 0);
+    reg.record(h, 100, 1);
+
+    MetricsRegistry::Snapshot s = reg.snapshot();
+    ASSERT_EQ(s.counters.size(), 2u);
+    EXPECT_EQ(s.counters[0].first, "a.counter");
+    EXPECT_EQ(s.counters[0].second, 3u);
+    EXPECT_EQ(s.counters[1].first, "b.bound");
+    EXPECT_EQ(s.counters[1].second, 9u);
+    ASSERT_EQ(s.gauges.size(), 1u);
+    EXPECT_EQ(s.gauges[0].second, -2);
+    ASSERT_EQ(s.histograms.size(), 1u);
+    EXPECT_EQ(s.histograms[0].second.count(), 1u);
+
+    EXPECT_EQ(s.counterValue("b.bound"), 9u);
+    EXPECT_EQ(s.counterValue("missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesOwnedButNotBound)
+{
+    std::uint64_t external = 5;
+    MetricsRegistry reg(2);
+    MetricId b = reg.bind("bound", &external);
+    MetricId c = reg.counter("owned");
+    MetricId h = reg.histogram("hist");
+    reg.add(c, 4, 0);
+    reg.record(h, 50, 1);
+
+    reg.reset();
+    EXPECT_EQ(reg.value(c), 0u);
+    EXPECT_EQ(reg.histogramValue(h).count(), 0u);
+    EXPECT_EQ(reg.value(b), 5u); // external storage untouched
+}
+
+TEST(MetricsHelperTest, DetachedClockCostsOneBranch)
+{
+    SimClock clock;
+    MetricsRegistry reg(1);
+    MetricId id = reg.counter("c");
+
+    // No registry attached: helpers are no-ops.
+    EXPECT_FALSE(metricsActive(clock));
+    metricAdd(clock, id);
+    EXPECT_EQ(reg.value(id), 0u);
+
+    VmAccounting acct;
+    acctFault(clock, &acct, TraceFaultKind::ZeroFill);
+    acctPageout(clock, &acct);
+    EXPECT_EQ(acct.faults(), 0u);
+    EXPECT_EQ(acct.pageouts, 0u);
+}
+
+TEST(MetricsHelperTest, AttachedClockEmits)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (MACHVM_TRACE=OFF)";
+
+    SimClock clock;
+    MetricsRegistry reg(1);
+    clock.setMetricsRegistry(&reg);
+    MetricId c = reg.counter("c");
+    MetricId g = reg.gauge("g");
+    MetricId h = reg.histogram("h");
+
+    EXPECT_TRUE(metricsActive(clock));
+    metricAdd(clock, c, 2);
+    metricGauge(clock, g, -1);
+    metricRecord(clock, h, 1000);
+    EXPECT_EQ(reg.value(c), 2u);
+    EXPECT_EQ(reg.gaugeValue(g), -1);
+    EXPECT_EQ(reg.histogramValue(h).count(), 1u);
+
+    VmAccounting acct;
+    acctFault(clock, &acct, TraceFaultKind::Cow);
+    acctFault(clock, &acct, TraceFaultKind::Cow);
+    acctFault(clock, &acct, TraceFaultKind::Pagein);
+    acctPageout(clock, &acct);
+    EXPECT_EQ(acct.faults(), 3u);
+    EXPECT_EQ(acct.cowFaults(), 2u);
+    EXPECT_EQ(acct.pageins(), 1u);
+    EXPECT_EQ(acct.pageouts, 1u);
+
+    clock.setMetricsRegistry(nullptr);
+    metricAdd(clock, c);
+    EXPECT_EQ(reg.value(c), 2u);
+}
+
+TEST(VmAccountingTest, MergeSumsEveryKind)
+{
+    VmAccounting a, b;
+    a.faultsByKind[static_cast<unsigned>(TraceFaultKind::ZeroFill)] =
+        3;
+    a.pageouts = 1;
+    b.faultsByKind[static_cast<unsigned>(TraceFaultKind::Cow)] = 2;
+    b.pageouts = 4;
+    a.merge(b);
+    EXPECT_EQ(a.faults(), 5u);
+    EXPECT_EQ(a.zeroFills(), 3u);
+    EXPECT_EQ(a.cowFaults(), 2u);
+    EXPECT_EQ(a.pageouts, 5u);
+}
+
+} // namespace
+} // namespace mach

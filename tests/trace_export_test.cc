@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Chrome trace-event export (src/sim/trace_export.hh): the exported
+ * JSON is syntactically valid, timestamps are monotonic, B/E spans
+ * balance per track even when ring wraparound loses one side of a
+ * pair, and drop accounting is exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "sim/trace_export.hh"
+
+namespace mach
+{
+namespace
+{
+
+/** Minimal recursive-descent JSON syntax checker (no semantics). */
+class JsonChecker
+{
+  public:
+    static bool
+    valid(const std::string &s)
+    {
+        JsonChecker c(s);
+        c.ws();
+        return c.value() && (c.ws(), c.i == s.size());
+    }
+
+  private:
+    explicit JsonChecker(const std::string &s) : s(s) {}
+
+    void
+    ws()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    lit(const char *t)
+    {
+        std::size_t n = std::string(t).size();
+        if (s.compare(i, n, t) != 0)
+            return false;
+        i += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\')
+                ++i;
+            ++i;
+        }
+        if (i >= s.size())
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == '+' || s[i] == '-'))
+            ++i;
+        return i > start;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (i >= s.size())
+            return false;
+        switch (s[i]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return lit("true");
+          case 'f': return lit("false");
+          case 'n': return lit("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++i; // '{'
+        ws();
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (i >= s.size() || s[i] != ':')
+                return false;
+            ++i;
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != '}')
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++i; // '['
+        ws();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != ']')
+            return false;
+        ++i;
+        return true;
+    }
+
+    const std::string &s;
+    std::size_t i = 0;
+};
+
+/** One exported event, scraped from the (one-per-line) JSON body. */
+struct EvLine
+{
+    std::string ph;
+    double ts = -1;
+    long tid = -1;
+    std::string line;
+};
+
+std::string
+field(const std::string &line, const std::string &name)
+{
+    std::size_t p = line.find("\"" + name + "\":");
+    if (p == std::string::npos)
+        return "";
+    p += name.size() + 3;
+    std::size_t e = p;
+    if (line[p] == '"') {
+        e = line.find('"', p + 1);
+        return line.substr(p + 1, e - p - 1);
+    }
+    while (e < line.size() && line[e] != ',' && line[e] != '}')
+        ++e;
+    return line.substr(p, e - p);
+}
+
+std::vector<EvLine>
+events(const std::string &json)
+{
+    std::vector<EvLine> out;
+    std::size_t pos = 0;
+    while (pos < json.size()) {
+        std::size_t nl = json.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = json.size();
+        std::string line = json.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.find("\"ph\":") == std::string::npos)
+            continue;
+        EvLine e;
+        e.ph = field(line, "ph");
+        std::string ts = field(line, "ts");
+        if (!ts.empty())
+            e.ts = std::atof(ts.c_str());
+        std::string tid = field(line, "tid");
+        if (!tid.empty())
+            e.tid = std::atol(tid.c_str());
+        e.line = std::move(line);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+/** Timestamps monotonic and B/E balanced per tid; "" if ok. */
+std::string
+checkInvariants(const std::string &json)
+{
+    double last = -1;
+    std::map<long, int> depth;
+    for (const EvLine &e : events(json)) {
+        if (e.ph == "M")
+            continue;
+        if (e.ts < last)
+            return "non-monotonic ts: " + e.line;
+        last = e.ts;
+        if (e.ph == "B") {
+            ++depth[e.tid];
+        } else if (e.ph == "E") {
+            if (--depth[e.tid] < 0)
+                return "E without B: " + e.line;
+        }
+    }
+    for (auto &[tid, d] : depth) {
+        if (d != 0)
+            return "unclosed B on tid " + std::to_string(tid);
+    }
+    return "";
+}
+
+TEST(TraceExportTest, EmptySinkExportsValidJson)
+{
+    TraceSink sink(8);
+    std::string json = chromeTraceJson(sink, 2);
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+    EXPECT_EQ(checkInvariants(json), "");
+}
+
+TEST(TraceExportTest, GoldenWorkloadExport)
+{
+    TraceSink sink(64);
+    using T = TraceEventType;
+    // A two-CPU fault pair, an IPI flow, pager traffic, a pageout
+    // pass with one laundered page (X event back-dates by arg1).
+    sink.emit(T::FaultBegin, 0, 1000, 1, /*va=*/0x2000, 0, 0, 7);
+    sink.emit(T::Ipi, 0, 1500, 0, /*target=*/1, /*round=*/3);
+    sink.emit(T::PagerIn, 0, 1800, /*vnode=*/1, /*off=*/4096,
+              /*obj=*/5, 0, 7);
+    sink.emit(T::FaultEnd, 0, 3000,
+              static_cast<std::uint8_t>(TraceFaultKind::Pagein),
+              0x2000, /*latency=*/2000, /*obj=*/5, 7);
+    sink.emit(T::PageoutBegin, 0, 4000, 0, /*free=*/3,
+              /*target=*/8);
+    sink.emit(T::Pageout, 0, 6000, 0, /*pa=*/0x8000,
+              /*dur=*/1500, /*obj=*/5);
+    sink.emit(T::PageoutEnd, 0, 6500, 0, /*scanned=*/4,
+              /*reclaimed=*/2, /*laundered=*/1);
+    sink.emit(T::BufHit, 0, 7000, 0, /*block=*/12, 512);
+    sink.emit(T::BufMiss, 0, 7100, 0, /*block=*/13, 512);
+
+    std::string json = chromeTraceJson(sink, 2);
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_EQ(checkInvariants(json), "") << json;
+
+    // Span pair with the attribution args.
+    EXPECT_NE(json.find("\"name\":\"vm_fault\",\"cat\":\"vm\","
+                        "\"ph\":\"B\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"resolution\":\"pagein\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"object\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"task\":7"), std::string::npos);
+
+    // IPI flow: a matching s/f pair bound by one id.
+    std::string s_id, f_id;
+    for (const EvLine &e : events(json)) {
+        if (e.ph == "s")
+            s_id = field(e.line, "id");
+        if (e.ph == "f")
+            f_id = field(e.line, "id");
+    }
+    EXPECT_FALSE(s_id.empty());
+    EXPECT_EQ(s_id, f_id);
+
+    // Pageout pass on the daemon track (tid == ncpus == 2).
+    bool daemon_pass = false;
+    for (const EvLine &e : events(json)) {
+        if (e.ph == "B" && e.tid == 2 &&
+            e.line.find("pageout_pass") != std::string::npos)
+            daemon_pass = true;
+    }
+    EXPECT_TRUE(daemon_pass);
+    EXPECT_NE(json.find("\"laundered\":1"), std::string::npos);
+
+    // The X event back-dates to time - dur = 4500 -> "4.500" us.
+    EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":4.500"),
+              std::string::npos);
+
+    // Buffer-cache instants survive with their names.
+    EXPECT_NE(json.find("\"buf_hit\""), std::string::npos);
+    EXPECT_NE(json.find("\"buf_miss\""), std::string::npos);
+}
+
+TEST(TraceExportTest, WraparoundDropCountsAreExact)
+{
+    TraceSink sink(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sink.emit(TraceEventType::PmapEnter, 0, 100 * (i + 1), 0, i,
+                  0);
+    EXPECT_EQ(sink.totalEmitted(), 10u);
+    EXPECT_EQ(sink.totalDropped(), 6u);
+    EXPECT_EQ(sink.size(), 4u);
+
+    std::string json = chromeTraceJson(sink, 1);
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"emitted\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"retained\":4"), std::string::npos);
+    // Only the newest four instants surface (plus the three meta
+    // records: process name, cpu0 track, daemon track).
+    EXPECT_EQ(events(json).size(), 4u + 3u);
+}
+
+TEST(TraceExportTest, OrphanEndBecomesInstant)
+{
+    // Wraparound ate the begins: both retained records are ends.
+    TraceSink sink(2);
+    using T = TraceEventType;
+    sink.emit(T::FaultBegin, 0, 100, 0, 0x1000, 0);
+    sink.emit(T::FaultBegin, 0, 200, 0, 0x2000, 0);
+    sink.emit(T::FaultEnd, 0, 300,
+              static_cast<std::uint8_t>(TraceFaultKind::ZeroFill),
+              0x1000, 200, 1);
+    sink.emit(T::FaultEnd, 0, 400,
+              static_cast<std::uint8_t>(TraceFaultKind::ZeroFill),
+              0x2000, 200, 1);
+
+    std::string json = chromeTraceJson(sink, 1);
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_EQ(checkInvariants(json), "") << json;
+    unsigned b = 0, e = 0, inst = 0;
+    for (const EvLine &ev : events(json)) {
+        if (ev.ph == "B")
+            ++b;
+        if (ev.ph == "E")
+            ++e;
+        if (ev.line.find("vm_fault_end") != std::string::npos)
+            ++inst;
+    }
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 0u);
+    EXPECT_EQ(inst, 2u);
+}
+
+TEST(TraceExportTest, UnclosedBeginClosedAsTruncated)
+{
+    // Wraparound ate the ends: retained records are begins only.
+    TraceSink sink(2);
+    using T = TraceEventType;
+    sink.emit(T::FaultEnd, 0, 50,
+              static_cast<std::uint8_t>(TraceFaultKind::Resident),
+              0x500, 10, 1);
+    sink.emit(T::FaultEnd, 0, 60,
+              static_cast<std::uint8_t>(TraceFaultKind::Resident),
+              0x600, 10, 1);
+    sink.emit(T::FaultBegin, 0, 100, 0, 0x1000, 0);
+    sink.emit(T::FaultBegin, 0, 200, 0, 0x2000, 0);
+
+    std::string json = chromeTraceJson(sink, 1);
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_EQ(checkInvariants(json), "") << json;
+    unsigned b = 0, e = 0, trunc = 0;
+    for (const EvLine &ev : events(json)) {
+        if (ev.ph == "B")
+            ++b;
+        if (ev.ph == "E") {
+            ++e;
+            if (ev.line.find("\"truncated\":1") != std::string::npos)
+                ++trunc;
+        }
+    }
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(e, 2u);
+    EXPECT_EQ(trunc, 2u);
+}
+
+TEST(TraceExportTest, BackdatedCompleteEventStaysSorted)
+{
+    // A Pageout X back-dates before an earlier instant; the exporter
+    // must still emit ascending timestamps.
+    TraceSink sink(8);
+    using T = TraceEventType;
+    sink.emit(T::PmapEnter, 0, 1000, 0, 1, 0);
+    sink.emit(T::Pageout, 0, 5000, 0, /*pa=*/0x1000, /*dur=*/4500,
+              /*obj=*/2);
+    sink.emit(T::PmapEnter, 0, 6000, 0, 2, 0);
+
+    std::string json = chromeTraceJson(sink, 1);
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_EQ(checkInvariants(json), "") << json;
+    // X lands at 500ns = "0.500" us, before the 1000ns instant.
+    EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":0.500"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mach

@@ -16,6 +16,10 @@ Tolerances are driven by the record's unit:
           perturbation
   ratio   same relative tolerance as ns
 
+Units in EXEMPT_UNITS (host-measured values such as ``host_rate``)
+are excluded from the gate entirely: they are informational, never
+compared, and never counted as new or missing.
+
 Usage:
     check_bench.py --baseline-dir bench/baselines results/*.json
     check_bench.py --baseline-dir bench/baselines --update results/*.json
@@ -31,6 +35,10 @@ import os
 import sys
 
 REL_TOL = 0.02
+
+# Units whose values depend on the host (wall-clock rates), not on the
+# deterministic simulation: reported for information, never gated.
+EXEMPT_UNITS = {"host_rate"}
 
 def key(rec):
     return (rec["benchmark"], rec["arch"], rec["metric"])
@@ -55,15 +63,46 @@ def load_dir(dirname):
             records[key(rec)] = rec
     return records
 
+def gated(records):
+    """The subset of a key->record dict the gate actually compares."""
+    return {k: r for k, r in records.items()
+            if r.get("unit") not in EXEMPT_UNITS}
+
+def set_mismatch_report(baseline, results, bench):
+    """Describe the metric-set difference for one benchmark.
+
+    A bare "new metric" / "missing metric" line forces the reader to
+    diff two JSON files by hand; list both sets instead so the drift
+    is visible in the failure message itself.
+    """
+    base_keys = {k for k in baseline if k[0] == bench}
+    res_keys = {k for k in results if k[0] == bench}
+    lines = []
+    only_res = sorted(res_keys - base_keys)
+    only_base = sorted(base_keys - res_keys)
+    if only_res:
+        lines.append(f"    only in results ({len(only_res)}):")
+        lines += [f"      {'/'.join(k)}" for k in only_res]
+    if only_base:
+        lines.append(f"    only in baseline ({len(only_base)}):")
+        lines += [f"      {'/'.join(k)}" for k in only_base]
+    lines.append(
+        f"    (baseline has {len(base_keys)} metrics for {bench}, "
+        f"results have {len(res_keys)}; run with --update to accept "
+        f"an intentional change)")
+    return lines
+
 def compare(baseline, results, rel_tol):
     """Return a list of human-readable failure strings."""
+    baseline = gated(baseline)
+    results = gated(results)
     failures = []
+    mismatched_benches = []
     for k, rec in sorted(results.items()):
         base = baseline.get(k)
         if base is None:
-            failures.append(
-                f"NEW METRIC {'/'.join(k)} = {rec['value']} "
-                f"(not in baseline; run with --update to accept)")
+            if k[0] not in mismatched_benches:
+                mismatched_benches.append(k[0])
             continue
         got, want, unit = rec["value"], base["value"], rec["unit"]
         if unit != base["unit"]:
@@ -84,11 +123,13 @@ def compare(baseline, results, rel_tol):
 
     covered = {k[0] for k in results}
     for k in sorted(baseline):
-        if k[0] in covered and k not in results:
-            failures.append(
-                f"MISSING METRIC {'/'.join(k)} "
-                f"(in baseline but not in results; "
-                f"run with --update to drop)")
+        if (k[0] in covered and k not in results
+                and k[0] not in mismatched_benches):
+            mismatched_benches.append(k[0])
+
+    for bench in mismatched_benches:
+        failures.append(f"METRIC SET MISMATCH for {bench}:")
+        failures += set_mismatch_report(baseline, results, bench)
     return failures
 
 def update_baselines(result_files, baseline_dir):
@@ -132,15 +173,17 @@ def main(argv=None):
             results[key(rec)] = rec
 
     failures = compare(baseline, results, args.rel_tol)
-    n = len(results)
+    n = len(gated(results))
+    exempt = len(results) - n
+    suffix = f", {exempt} exempt" if exempt else ""
     if failures:
         print(f"check_bench: {len(failures)} failure(s) "
-              f"across {n} metrics:")
+              f"across {n} gated metrics{suffix}:")
         for f in failures:
             print(f"  {f}")
         return 1
-    print(f"check_bench: all {n} metrics within tolerance "
-          f"({len(baseline)} baseline entries)")
+    print(f"check_bench: all {n} gated metrics within tolerance "
+          f"({len(gated(baseline))} baseline entries{suffix})")
     return 0
 
 if __name__ == "__main__":

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Symbol-level check that introspection compiles out of hot paths.
+
+The metrics/trace emission helpers are `if constexpr (kTraceCompiled)`
+guarded: under -DMACHVM_TRACE=OFF every hot-path object file must be
+free of references to the out-of-line emission entry points
+(MetricsRegistry::add/addGauge/record).  A stray reference means
+someone bypassed the inline helpers and put an unconditional call on
+a fault/pageout/shootdown path — exactly the regression this check
+exists to catch.
+
+Two modes, both run by CI:
+
+    check_notrace.py --build-dir build-notrace --expect absent
+        (after a -DMACHVM_TRACE=OFF build) fail if any hot-path
+        object references an emission symbol
+
+    check_notrace.py --build-dir build --expect present
+        (after a default build) fail unless at least one hot-path
+        object references an emission symbol — keeps the absent
+        check from passing vacuously when symbol names change
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# Object files on the paths where emission must be free when tracing
+# is compiled out (relative to <build-dir>/src/CMakeFiles/machvm.dir).
+HOT_OBJECTS = [
+    "vm/vm_fault.cc.o",
+    "vm/vm_pageout.cc.o",
+    "vm/vm_page.cc.o",
+    "vm/vm_object.cc.o",
+    "vm/vm_map.cc.o",
+    "pmap/pmap.cc.o",
+    "fs/buffer_cache.cc.o",
+]
+
+# Demangled emission entry points (the out-of-line hot-path API of
+# src/sim/metrics.cc; TraceSink::emit is header-inline but listed in
+# case it ever moves out of line).
+EMISSION_RE = re.compile(
+    r"MetricsRegistry::(add|addGauge|record)\b"
+    r"|TraceSink::emit\b")
+
+
+def emission_symbols(obj):
+    out = subprocess.run(["nm", "-C", obj], capture_output=True,
+                         text=True, check=True).stdout
+    return sorted({line.split()[-1].split("(")[0]
+                   for line in out.splitlines()
+                   if EMISSION_RE.search(line)})
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory to inspect")
+    ap.add_argument("--expect", choices=("absent", "present"),
+                    required=True,
+                    help="whether hot-path objects should reference "
+                         "emission symbols")
+    args = ap.parse_args(argv)
+
+    objdir = os.path.join(args.build_dir, "src", "CMakeFiles",
+                          "machvm.dir")
+    if not os.path.isdir(objdir):
+        print(f"error: {objdir} not found (build first)",
+              file=sys.stderr)
+        return 2
+
+    found = {}
+    for rel in HOT_OBJECTS:
+        obj = os.path.join(objdir, rel)
+        if not os.path.exists(obj):
+            print(f"error: {obj} missing — hot-path file list is "
+                  f"stale, update HOT_OBJECTS", file=sys.stderr)
+            return 2
+        syms = emission_symbols(obj)
+        if syms:
+            found[rel] = syms
+
+    if args.expect == "absent":
+        if found:
+            print("check_notrace: emission symbols survive "
+                  "MACHVM_TRACE=OFF in hot-path objects:")
+            for rel, syms in sorted(found.items()):
+                for s in syms:
+                    print(f"  {rel}: {s}")
+            return 1
+        print(f"check_notrace: OK — no emission symbols in "
+              f"{len(HOT_OBJECTS)} hot-path objects")
+        return 0
+
+    # --expect present: sanity that the pattern still matches reality.
+    if not found:
+        print("check_notrace: no emission symbols found in any "
+              "hot-path object of a tracing build — EMISSION_RE or "
+              "HOT_OBJECTS is stale")
+        return 1
+    print(f"check_notrace: OK — emission symbols present in "
+          f"{len(found)}/{len(HOT_OBJECTS)} hot-path objects "
+          f"({', '.join(sorted(found))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

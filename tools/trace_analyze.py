@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Analyze Chrome trace-event JSON exported by machvm (--trace-out).
+
+The exporter (src/sim/trace_export.cc) renders the simulator's trace
+ring buffer as a Perfetto/chrome://tracing-loadable JSON object.  This
+tool answers the questions the timeline view is bad at:
+
+  summary (default)
+      * fault-latency percentiles per resolution kind (zero_fill,
+        cow, pagein, ...), from vm_fault end events
+      * top-N hottest VM objects and tasks by fault count, plus
+        pager traffic per object
+      * TLB-shootdown fan-out: IPIs per dispatch round
+      * pageout-daemon pass stats and buffer-cache hit rate
+
+  --diff A B
+      summary of both runs side by side with absolute deltas, for
+      before/after comparisons of a VM change
+
+  --self-check FILE
+      exit non-zero unless FILE is valid Chrome trace JSON with
+      monotonic timestamps and balanced B/E spans per track — the
+      invariants the exporter guarantees even under ring wraparound.
+      Used by CI on the trace artifact.
+
+Usage:
+    trace_analyze.py trace.json
+    trace_analyze.py --top 5 trace.json
+    trace_analyze.py --diff before.json after.json
+    trace_analyze.py --self-check trace.json
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(f"{path}: not a Chrome trace JSON object")
+    return data
+
+
+def percentile(sorted_vals, p):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_vals:
+        return 0
+    k = max(0, min(len(sorted_vals) - 1,
+                   int(round(p / 100.0 * len(sorted_vals))) - 1))
+    return sorted_vals[k]
+
+
+class Analysis:
+    """Everything the report prints, extracted in one pass."""
+
+    def __init__(self, data):
+        self.other = data.get("otherData", {})
+        # resolution kind -> ascending fault latencies (ns)
+        self.latencies = defaultdict(list)
+        self.faults_by_object = Counter()
+        self.faults_by_task = Counter()
+        self.pager_by_object = Counter()
+        # dispatch round id -> IPI count (flow "s" ends only, one
+        # per target CPU)
+        self.ipi_rounds = Counter()
+        self.passes = []  # (scanned, reclaimed, laundered)
+        self.buf = Counter()  # buf_hit / buf_miss / buf_writeback
+
+        for e in data["traceEvents"]:
+            ph, name = e.get("ph"), e.get("name")
+            args = e.get("args", {})
+            if name == "vm_fault" and ph == "E" or \
+                    name == "vm_fault_end":
+                if "resolution" not in args:
+                    continue  # truncated span closed by the exporter
+                self.latencies[args["resolution"]].append(
+                    args.get("latency_ns", 0))
+                obj = args.get("object", 0)
+                if obj:
+                    self.faults_by_object[obj] += 1
+                self.faults_by_task[args.get("task", 0)] += 1
+            elif name == "ipi" and ph == "s":
+                self.ipi_rounds[args.get("round", 0)] += 1
+            elif name == "pageout_pass" and ph == "E" and \
+                    "scanned" in args:
+                self.passes.append((args["scanned"],
+                                    args["reclaimed"],
+                                    args["laundered"]))
+            elif name in ("pager_in", "pager_out"):
+                self.pager_by_object[args.get("object", 0)] += 1
+            elif name in ("buf_hit", "buf_miss", "buf_writeback"):
+                self.buf[name] += 1
+
+        for v in self.latencies.values():
+            v.sort()
+
+    def fault_count(self):
+        return sum(len(v) for v in self.latencies.values())
+
+    def latency_rows(self):
+        """[(kind, count, p50, p90, p99, max)] sorted by count."""
+        rows = []
+        for kind, vals in self.latencies.items():
+            rows.append((kind, len(vals),
+                         percentile(vals, 50), percentile(vals, 90),
+                         percentile(vals, 99), vals[-1]))
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def fanout_stats(self):
+        """(rounds, total_ipis, mean, max) of shootdown fan-out."""
+        if not self.ipi_rounds:
+            return (0, 0, 0.0, 0)
+        counts = list(self.ipi_rounds.values())
+        return (len(counts), sum(counts),
+                sum(counts) / len(counts), max(counts))
+
+
+def fmt_ns(ns):
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns}ns"
+
+
+def print_summary(path, a, top_n):
+    print(f"== {path} ==")
+    other = a.other
+    if other:
+        note = ""
+        if other.get("dropped"):
+            note = "  (ring wrapped: oldest events lost)"
+        print(f"events: {other.get('emitted', '?')} emitted, "
+              f"{other.get('dropped', '?')} dropped, "
+              f"{other.get('retained', '?')} retained, "
+              f"{other.get('cpus', '?')} cpu(s){note}")
+
+    print(f"\nfault latency by resolution "
+          f"({a.fault_count()} faults):")
+    print(f"  {'kind':<12} {'count':>7} {'p50':>10} {'p90':>10} "
+          f"{'p99':>10} {'max':>10}")
+    for kind, n, p50, p90, p99, mx in a.latency_rows():
+        print(f"  {kind:<12} {n:>7} {fmt_ns(p50):>10} "
+              f"{fmt_ns(p90):>10} {fmt_ns(p99):>10} {fmt_ns(mx):>10}")
+
+    def top(counter, label, unit):
+        if not counter:
+            return
+        print(f"\ntop {label}:")
+        for ident, n in counter.most_common(top_n):
+            print(f"  {label[:-1]} {ident:<6} {n:>7} {unit}")
+
+    top(a.faults_by_object, "objects", "faults")
+    top(a.faults_by_task, "tasks", "faults")
+    top(a.pager_by_object, "pager objects", "pager ops")
+
+    rounds, ipis, mean, mx = a.fanout_stats()
+    if rounds:
+        print(f"\nshootdown fan-out: {ipis} IPIs over {rounds} "
+              f"rounds (mean {mean:.2f}, max {mx} targets)")
+
+    if a.passes:
+        scanned = sum(p[0] for p in a.passes)
+        reclaimed = sum(p[1] for p in a.passes)
+        laundered = sum(p[2] for p in a.passes)
+        print(f"\npageout daemon: {len(a.passes)} passes, "
+              f"{scanned} scanned, {reclaimed} reclaimed, "
+              f"{laundered} laundered")
+
+    if a.buf:
+        hits, misses = a.buf["buf_hit"], a.buf["buf_miss"]
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        print(f"\nbuffer cache: {hits} hits / {misses} misses "
+              f"({rate:.1f}% hit rate), "
+              f"{a.buf['buf_writeback']} writebacks")
+
+
+def print_diff(path_a, a, path_b, b):
+    print(f"== diff: {path_a} -> {path_b} ==")
+    kinds = sorted(set(a.latencies) | set(b.latencies))
+    print(f"\n{'kind':<12} {'count A':>8} {'count B':>8} "
+          f"{'delta':>7}   {'p50 A':>10} {'p50 B':>10}")
+    for kind in kinds:
+        va, vb = a.latencies.get(kind, []), b.latencies.get(kind, [])
+        print(f"{kind:<12} {len(va):>8} {len(vb):>8} "
+              f"{len(vb) - len(va):>+7}   "
+              f"{fmt_ns(percentile(va, 50)):>10} "
+              f"{fmt_ns(percentile(vb, 50)):>10}")
+
+    ra, ia, ma, xa = a.fanout_stats()
+    rb, ib, mb, xb = b.fanout_stats()
+    if ra or rb:
+        print(f"\nshootdown IPIs: {ia} -> {ib} ({ib - ia:+d}), "
+              f"mean fan-out {ma:.2f} -> {mb:.2f}")
+
+    pa = sum(p[1] for p in a.passes)
+    pb = sum(p[1] for p in b.passes)
+    if a.passes or b.passes:
+        print(f"pageout reclaimed: {pa} -> {pb} ({pb - pa:+d}) over "
+              f"{len(a.passes)} -> {len(b.passes)} passes")
+
+    ha, hb = a.buf["buf_hit"], b.buf["buf_hit"]
+    if a.buf or b.buf:
+        print(f"buffer-cache hits: {ha} -> {hb} ({hb - ha:+d})")
+
+
+def self_check(path):
+    """Validate the invariants the exporter guarantees.  Returns a
+    list of failure strings (empty = pass)."""
+    failures = []
+    try:
+        data = load(path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return [f"unreadable: {e}"]
+
+    last_ts = None
+    depth = defaultdict(int)  # (pid, tid) -> open B spans
+    for i, e in enumerate(data["traceEvents"]):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if "ts" not in e:
+            failures.append(f"event {i}: missing ts")
+            continue
+        ts = float(e["ts"])
+        if last_ts is not None and ts < last_ts:
+            failures.append(
+                f"event {i}: non-monotonic ts {ts} < {last_ts}")
+        last_ts = ts
+        track = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            depth[track] += 1
+        elif ph == "E":
+            depth[track] -= 1
+            if depth[track] < 0:
+                failures.append(
+                    f"event {i}: E without matching B on "
+                    f"pid/tid {track}")
+                depth[track] = 0
+    for track, d in sorted(depth.items()):
+        if d != 0:
+            failures.append(
+                f"pid/tid {track}: {d} unclosed B span(s)")
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="*",
+                    help="Chrome trace JSON file(s)")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="entries per hottest-objects/tasks list")
+    ap.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                    help="compare two runs instead of summarizing")
+    ap.add_argument("--self-check", metavar="FILE",
+                    help="validate trace invariants; exit non-zero "
+                         "on violation")
+    args = ap.parse_args(argv)
+
+    if args.self_check:
+        failures = self_check(args.self_check)
+        if failures:
+            print(f"trace_analyze: {args.self_check}: "
+                  f"{len(failures)} invariant violation(s):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"trace_analyze: {args.self_check}: OK")
+        return 0
+
+    if args.diff:
+        pa, pb = args.diff
+        print_diff(pa, Analysis(load(pa)), pb, Analysis(load(pb)))
+        return 0
+
+    if not args.traces:
+        print("error: no trace files given (see --help)",
+              file=sys.stderr)
+        return 2
+
+    for i, path in enumerate(args.traces):
+        if i:
+            print()
+        print_summary(path, Analysis(load(path)), args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
