@@ -21,6 +21,7 @@ machvm_bench(bench_ipt)
 machvm_bench(bench_shootdown)
 machvm_bench(bench_pagesize)
 machvm_bench(bench_pmapcopy)
+machvm_bench(bench_churn)
 
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE machvm bench_report

@@ -1,5 +1,7 @@
 #include "pager/default_pager.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "vm/vm_page.hh"
 
@@ -31,17 +33,27 @@ DefaultPager::allocBlock()
     return b;
 }
 
+std::uint64_t
+DefaultPager::findBlock(const VmObject *object, VmOffset offset) const
+{
+    auto oit = blocks.find(object);
+    if (oit == blocks.end())
+        return kNoBlock;
+    auto it = oit->second.find(offset);
+    return it == oit->second.end() ? kNoBlock : it->second;
+}
+
 PagerResult
 DefaultPager::dataRequest(VmObject *object, VmOffset offset,
                           VmPage *page, VmProt desired_access)
 {
     (void)desired_access;
-    auto it = blocks.find(Key{object, offset});
-    if (it == blocks.end())
+    std::uint64_t block = findBlock(object, offset);
+    if (block == kNoBlock)
         return PagerResult::Unavailable;  // pager_data_unavailable
     // DMA the swap block straight into the physical page.
     PagerResult pr = swap.read(
-        it->second, machine.memory().data(page->physAddr), pageSize);
+        block, machine.memory().data(page->physAddr), pageSize);
     if (pr != PagerResult::Ok)
         return pr;
     ++pageins;
@@ -51,13 +63,9 @@ DefaultPager::dataRequest(VmObject *object, VmOffset offset,
 PagerResult
 DefaultPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
 {
-    Key key{object, offset};
-    auto it = blocks.find(key);
-    std::uint64_t block;
+    std::uint64_t block = findBlock(object, offset);
     bool fresh = false;
-    if (it != blocks.end()) {
-        block = it->second;
-    } else {
+    if (block == kNoBlock) {
         block = allocBlock();
         if (block == kNoBlock)
             return PagerResult::PermanentError;
@@ -74,8 +82,10 @@ DefaultPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
             freeList.push_back(block);
         return pr;
     }
-    if (fresh)
-        blocks[key] = block;
+    if (fresh) {
+        blocks[object][offset] = block;
+        ++nBlocks;
+    }
     ++pageouts;
     return PagerResult::Ok;
 }
@@ -83,20 +93,25 @@ DefaultPager::dataWrite(VmObject *object, VmOffset offset, VmPage *page)
 bool
 DefaultPager::hasData(VmObject *object, VmOffset offset)
 {
-    return blocks.find(Key{object, offset}) != blocks.end();
+    return findBlock(object, offset) != kNoBlock;
 }
 
 void
 DefaultPager::terminate(VmObject *object)
 {
-    for (auto it = blocks.begin(); it != blocks.end();) {
-        if (it->first.object == object) {
-            freeList.push_back(it->second);
-            it = blocks.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    auto oit = blocks.find(object);
+    if (oit == blocks.end())
+        return;
+    // Recycle in sorted order: hash iteration order is an
+    // implementation detail, and block addresses feed fault-site
+    // identities (sim/fault_inject.hh), so the recycle order must be
+    // reproducible.
+    std::size_t first = freeList.size();
+    for (const auto &[off, block] : oit->second)
+        freeList.push_back(block);
+    std::sort(freeList.begin() + first, freeList.end());
+    nBlocks -= oit->second.size();
+    blocks.erase(oit);
 }
 
 } // namespace mach

@@ -7,6 +7,12 @@
  * implementation keeps a swap area on a SimDisk, allocating one
  * page-sized block per (object, offset) on first pageout and
  * releasing an object's blocks when it terminates.
+ *
+ * Blocks are indexed per object (object -> offset -> block) so an
+ * object's termination touches only its own blocks; under heavy task
+ * churn tens of thousands of short-lived shadow objects die while
+ * the swap area holds unrelated data, and a global (object, offset)
+ * table would make every death a full-table sweep.
  */
 
 #ifndef MACH_PAGER_DEFAULT_PAGER_HH
@@ -45,39 +51,28 @@ class DefaultPager : public Pager
     PagerKind kind() const override { return PagerKind::Default; }
 
     /** Pages currently held on swap. */
-    std::size_t pagesOnSwap() const { return blocks.size(); }
+    std::size_t pagesOnSwap() const { return nBlocks; }
     std::uint64_t pageinsServed() const { return pageins; }
     std::uint64_t pageoutsServed() const { return pageouts; }
 
   private:
-    struct Key
-    {
-        const VmObject *object;
-        VmOffset offset;
-        bool operator==(const Key &o) const
-        {
-            return object == o.object && offset == o.offset;
-        }
-    };
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<const void *>()(k.object) ^
-                std::hash<std::uint64_t>()(k.offset * 0x9e3779b9u);
-        }
-    };
+    /** One object's swap blocks: byte offset -> block address. */
+    using BlockMap = std::unordered_map<VmOffset, std::uint64_t>;
 
     /** Sentinel: swap space exhausted. */
     static constexpr std::uint64_t kNoBlock = ~std::uint64_t(0);
 
     std::uint64_t allocBlock();
 
+    /** The block holding (@p object, @p offset), or kNoBlock. */
+    std::uint64_t findBlock(const VmObject *object,
+                            VmOffset offset) const;
+
     Machine &machine;
     SimDisk &swap;
     VmSize pageSize;
-    std::unordered_map<Key, std::uint64_t, KeyHash> blocks;
+    std::unordered_map<const VmObject *, BlockMap> blocks;
+    std::size_t nBlocks = 0;
     std::vector<std::uint64_t> freeList;
     std::uint64_t nextBlock = 0;
     std::uint64_t pageins = 0;

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Per-object sparse index of resident pages.
+ *
+ * The paper's resident page table hashes (object, offset) pairs into
+ * a global table sized once at boot (section 3.1).  With one address
+ * space per connected user that table becomes the scaling bottleneck:
+ * every fault probes a shared structure whose chains grow with total
+ * residency.  This radix tree replaces the hash as the lookup index:
+ * each VmObject owns a 64-ary tree keyed by page index (offset /
+ * page size), so lookup cost depends only on the object's own span,
+ * sparse objects pay one node, and object teardown touches no global
+ * state.  The global free/active/inactive queues remain untouched —
+ * the pageout daemon still scans machine-wide.
+ *
+ * Nodes come from a Zone (base/zone.hh) shared by all objects of a
+ * VmSys, so tree growth under task churn is freelist recycling, not
+ * heap traffic.  Nodes are kept until the object dies rather than
+ * pruned as pages leave: under an active pageout daemon the same
+ * offsets are evicted and refaulted repeatedly, and reusing the node
+ * skeleton keeps the fault path free of allocator work.  Tree
+ * maintenance charges no simulated time, exactly like the
+ * hash-bucket operations it replaces.
+ */
+
+#ifndef MACH_VM_PAGE_TREE_HH
+#define MACH_VM_PAGE_TREE_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/zone.hh"
+
+namespace mach
+{
+
+struct VmPage;
+
+/** Growable 64-ary radix tree mapping page index -> VmPage*. */
+class PageTree
+{
+  public:
+    static constexpr unsigned kBits = 6;
+    static constexpr unsigned kFanout = 1u << kBits;
+    /** Levels needed for any 64-bit key: ceil(64 / 6). */
+    static constexpr unsigned kMaxHeight = 11;
+
+    /** One tree level: interior slots hold Node*, leaves VmPage*. */
+    struct Node
+    {
+        void *slots[kFanout];
+    };
+
+    explicit PageTree(Zone &node_zone) : zone(node_zone) {}
+
+    PageTree(const PageTree &) = delete;
+    PageTree &operator=(const PageTree &) = delete;
+
+    ~PageTree()
+    {
+        if (root)
+            destroy(root, height);
+    }
+
+    bool empty() const { return nPages == 0; }
+    std::size_t size() const { return nPages; }
+
+    /** The page at @p key, or nullptr. */
+    VmPage *
+    find(std::uint64_t key) const
+    {
+        if (!root || !fits(key))
+            return nullptr;
+        Node *node = root;
+        for (unsigned level = height - 1; level > 0; --level) {
+            node = static_cast<Node *>(node->slots[indexAt(key, level)]);
+            if (!node)
+                return nullptr;
+        }
+        return static_cast<VmPage *>(node->slots[indexAt(key, 0)]);
+    }
+
+    /** Insert @p page at @p key; the key must be vacant. */
+    void
+    insert(std::uint64_t key, VmPage *page)
+    {
+        MACH_ASSERT(page != nullptr);
+        while (!fits(key))
+            growRoot();
+        Node *node = root;
+        for (unsigned level = height - 1; level > 0; --level) {
+            void *&slot = node->slots[indexAt(key, level)];
+            if (!slot)
+                slot = newNode();
+            node = static_cast<Node *>(slot);
+        }
+        void *&slot = node->slots[indexAt(key, 0)];
+        MACH_ASSERT(slot == nullptr);
+        slot = page;
+        ++nPages;
+    }
+
+    /**
+     * Remove the page at @p key.  Emptied nodes are deliberately
+     * kept (freed only at destruction): pageout eviction followed by
+     * refault reuses them, so the steady-state fault path never
+     * touches the node zone.
+     */
+    void
+    erase(std::uint64_t key)
+    {
+        MACH_ASSERT(root && fits(key));
+        Node *node = root;
+        for (unsigned level = height - 1; level > 0; --level) {
+            node = static_cast<Node *>(node->slots[indexAt(key, level)]);
+            MACH_ASSERT(node != nullptr);
+        }
+        void *&slot = node->slots[indexAt(key, 0)];
+        MACH_ASSERT(slot != nullptr);
+        slot = nullptr;
+        --nPages;
+    }
+
+    /**
+     * Apply @p fn to every resident page in ascending page-index
+     * order.  @p fn must not mutate the tree.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (root)
+            walk(root, height - 1, 0, fn);
+    }
+
+  private:
+    /** True if @p key is addressable at the current height. */
+    bool
+    fits(std::uint64_t key) const
+    {
+        if (height == 0)
+            return false;
+        unsigned shift = height * kBits;
+        return shift >= 64 || (key >> shift) == 0;
+    }
+
+    static unsigned
+    indexAt(std::uint64_t key, unsigned level)
+    {
+        return (key >> (level * kBits)) & (kFanout - 1);
+    }
+
+    Node *
+    newNode()
+    {
+        auto *n = static_cast<Node *>(zone.allocSized(sizeof(Node)));
+        std::memset(n, 0, sizeof(Node));
+        return n;
+    }
+
+    void
+    growRoot()
+    {
+        Node *n = newNode();
+        n->slots[0] = root;  // nullptr for the first level
+        root = n;
+        ++height;
+        MACH_ASSERT(height <= kMaxHeight);
+    }
+
+    void
+    destroy(Node *node, unsigned levels)
+    {
+        if (levels > 1) {
+            for (void *slot : node->slots) {
+                if (slot)
+                    destroy(static_cast<Node *>(slot), levels - 1);
+            }
+        }
+        zone.free(node);
+    }
+
+    template <typename Fn>
+    void
+    walk(const Node *node, unsigned level, std::uint64_t base,
+         Fn &&fn) const
+    {
+        for (unsigned i = 0; i < kFanout; ++i) {
+            if (!node->slots[i])
+                continue;
+            std::uint64_t key = base | (std::uint64_t(i) << (level * kBits));
+            if (level == 0)
+                fn(key, static_cast<VmPage *>(node->slots[i]));
+            else
+                walk(static_cast<const Node *>(node->slots[i]),
+                     level - 1, key, fn);
+        }
+    }
+
+    Zone &zone;
+    Node *root = nullptr;
+    unsigned height = 0;    //!< levels in use (0 = empty tree)
+    std::size_t nPages = 0;
+};
+
+} // namespace mach
+
+#endif // MACH_VM_PAGE_TREE_HH

@@ -11,7 +11,8 @@ namespace mach
 {
 
 VmMap::VmMap(VmSys &sys, Pmap *pmap, VmOffset min_addr, VmOffset max_addr)
-    : sys(sys), pmap(pmap), minAddr(min_addr), maxAddr(max_addr)
+    : sys(sys), pmap(pmap), minAddr(min_addr), maxAddr(max_addr),
+      entries(ZoneAllocator<VmMapEntry>(&sys.mapEntryZone))
 {
     MACH_ASSERT(min_addr < max_addr);
     hint = entries.end();
@@ -55,6 +56,8 @@ VmMap::lookupEntry(VmOffset addr, Iter &out)
     ++sys.stats.lookups;
     chargeEntryOp();
 
+    const SimTime visit_cost = sys.machine.spec.costs.mapEntryOp / 8;
+
     // Last-fault hint (paper section 3.2): most faults land in or
     // near the entry of the previous fault.
     if (useHint && hint != entries.end()) {
@@ -71,9 +74,47 @@ VmMap::lookupEntry(VmOffset addr, Iter &out)
             out = next;
             return true;
         }
+
+        // Hint miss: the list is sorted, so walk out from the hint
+        // in the direction of addr rather than rescanning from
+        // begin().  Addresses above the hint always walk forward;
+        // addresses below walk backward only when the target is
+        // nearer the hint than the map's front (address distance as
+        // the estimator) — otherwise the ordered front scan below
+        // is the shorter walk.
+        if (addr >= hint->end) {
+            for (Iter it = std::next(hint); it != entries.end();
+                 ++it) {
+                sys.chargeSoftware(visit_cost);
+                if (addr < it->start)
+                    return false;  // fell into a hole
+                if (addr < it->end) {
+                    hint = it;
+                    out = it;
+                    return true;
+                }
+            }
+            return false;
+        }
+        if (addr > entries.front().start &&
+            hint->start - addr < addr - entries.front().start) {
+            for (Iter it = std::prev(hint);; --it) {
+                sys.chargeSoftware(visit_cost);
+                if (addr >= it->end)
+                    return false;  // fell into a hole
+                if (addr >= it->start) {
+                    hint = it;
+                    out = it;
+                    return true;
+                }
+                if (it == entries.begin())
+                    return false;
+            }
+        }
     }
 
-    const SimTime visit_cost = sys.machine.spec.costs.mapEntryOp / 8;
+    // Ordered fallback (and the whole search when the hint is off or
+    // invalid): scan forward from the front.
     for (Iter it = entries.begin(); it != entries.end(); ++it) {
         sys.chargeSoftware(visit_cost);
         if (addr < it->start)
@@ -85,6 +126,19 @@ VmMap::lookupEntry(VmOffset addr, Iter &out)
         }
     }
     return false;
+}
+
+VmMap::Iter
+VmMap::eraseEntry(Iter it)
+{
+    // Keeping the hint on the exact-match test alone is only safe
+    // because every erase funnels through here; hint repair policy
+    // (drop to end()) must not change, as a smarter hint would shift
+    // the gated hit-rate counters.
+    if (hint == it)
+        hint = entries.end();
+    chargeEntryOp();
+    return entries.erase(it);
 }
 
 bool
@@ -244,10 +298,7 @@ VmMap::deallocate(VmOffset start, VmSize size)
         if (pmap)
             pmap->remove(it->start, it->end);
         releaseBacking(*it);
-        if (hint == it)
-            hint = entries.end();
-        it = entries.erase(it);
-        chargeEntryOp();
+        it = eraseEntry(it);
     }
     return KernReturn::Success;
 }
@@ -777,10 +828,7 @@ VmMap::simplify()
             it->end = next->end;
             if (next->object)
                 next->object->deallocate();  // merged entry: one ref
-            if (hint == next)
-                hint = entries.end();
-            next = entries.erase(next);
-            chargeEntryOp();
+            next = eraseEntry(next);
         } else {
             it = next;
             ++next;

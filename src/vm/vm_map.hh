@@ -26,6 +26,7 @@
 
 #include "base/status.hh"
 #include "base/types.hh"
+#include "base/zone.hh"
 #include "vm/vm_sys.hh"
 
 namespace mach
@@ -79,7 +80,9 @@ struct VmRegionInfo
 class VmMap
 {
   public:
-    using EntryList = std::list<VmMapEntry>;
+    /** Entry nodes come from the VmSys map-entry slab zone, so the
+     *  per-fork entry churn is freelist recycling, not heap calls. */
+    using EntryList = std::list<VmMapEntry, ZoneAllocator<VmMapEntry>>;
     using Iter = EntryList::iterator;
 
     /**
@@ -227,6 +230,14 @@ class VmMap
 
     /** Find the entry containing @p addr (hint-assisted). */
     bool lookupEntry(VmOffset addr, Iter &out);
+
+    /**
+     * Erase @p it, keeping the lookup hint safe.  Every erase of a
+     * live entry must go through here: entry nodes are zone-recycled,
+     * so a stale hint would not fault — it would silently read a
+     * reused node.
+     */
+    Iter eraseEntry(Iter it);
 
     /** Split @p it so that it starts exactly at @p addr. */
     void clipStart(Iter it, VmOffset addr);

@@ -9,7 +9,8 @@ namespace mach
 {
 
 VmObject::VmObject(VmSys &sys, VmSize size)
-    : sys(sys), size(size), id(sys.nextObjectId++)
+    : sys(sys), size(size), id(sys.nextObjectId++),
+      pageIndex(sys.radixZone)
 {
     ++sys.liveObjects;
     ++sys.stats.objectsCreated;
@@ -17,6 +18,13 @@ VmObject::VmObject(VmSys &sys, VmSize size)
 
 VmObject::~VmObject()
 {
+#ifdef MACHVM_SANITIZE_BUILD
+    // Every destruction path (terminate, collapse merge) must have
+    // reconciled the page locks; a leftover entry means a stale
+    // offset survived its data.
+    MACH_ASSERT(pageLocks.empty());
+#endif
+    MACH_ASSERT(pageIndex.empty());
     --sys.liveObjects;
 }
 
@@ -83,6 +91,8 @@ VmObject::terminate()
     MACH_ASSERT(alive);
     alive = false;
     destroyPages();
+    // The locks die with the data they guarded.
+    pageLocks.clear();
     if (pager) {
         sys.pagerIndex.erase(pager);
         pager->terminate(this);
@@ -207,6 +217,19 @@ VmObject::collapse()
                     }
                 }
             }
+            // Reconcile page locks: a lock on the backing object now
+            // guards data served by this object, so adopt it through
+            // the shadow window (existing locks here take priority);
+            // locks outside the window die with the backing object.
+            for (const auto &[off, prot] : backing->pageLocks) {
+                if (off < object->shadowOffset ||
+                    off - object->shadowOffset >= object->size)
+                    continue;
+                VmOffset new_off = off - object->shadowOffset;
+                if (object->lockOf(new_off) == VmProt::None)
+                    object->setLock(new_off, prot);
+            }
+            backing->pageLocks.clear();
             object->shadow = backing->shadow;  // adopt its reference
             object->shadowOffset += backing->shadowOffset;
             backing->shadow = nullptr;

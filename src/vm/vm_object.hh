@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "base/types.hh"
+#include "vm/page_tree.hh"
 #include "vm/vm_page.hh"
 #include "vm/vm_sys.hh"
 
@@ -155,11 +156,22 @@ class VmObject
     /** Pagein/pageout operations in flight (collapse guard). */
     unsigned pagingInProgress = 0;
 
-    /** Locked page ranges: offset -> prevented accesses. */
+    /**
+     * Locked page ranges: offset -> prevented accesses.  Entries are
+     * reconciled when the object collapses (a merged backing object's
+     * locks are adopted through the shadow window) and purged at
+     * termination, so no stale offsets outlive the object's data.
+     */
     std::unordered_map<VmOffset, VmProt> pageLocks;
 
-    /** Resident pages, linked through VmPage::objHook. */
+    /** Resident pages, linked through VmPage::objHook (iteration
+     *  in allocation order; deallocation/copy paths). */
     IntrusiveList<VmPage, &VmPage::objHook> pages;
+
+    /** Fault-time lookup index over the same pages, keyed by page
+     *  index (page_tree.hh); nodes from sys.radixZone. */
+    PageTree pageIndex;
+
     unsigned residentCount = 0;
 
   private:

@@ -1,73 +1,77 @@
 #include "vm/vm_page.hh"
 
+#include <new>
+#include <type_traits>
+
 #include "base/logging.hh"
 #include "vm/vm_object.hh"
 
 namespace mach
 {
 
+// Entries recycle through the free queue, never individually back to
+// the zone, so the zone may release them wholesale at destruction.
+static_assert(std::is_trivially_destructible_v<VmPage>);
+
 ResidentPageTable::ResidentPageTable(Machine &machine,
                                      VmSize mach_page_size)
-    : machine(machine), machPage(mach_page_size)
+    : pageZone(sizeof(VmPage), 1024), machine(machine),
+      machPage(mach_page_size)
 {
     MACH_ASSERT(isPowerOf2(machPage));
     const MachineSpec &spec = machine.spec;
-    PhysAddr limit = spec.physAddrLimit ? spec.physAddrLimit
-                                        : spec.physMemBytes;
+    physLimit = spec.physAddrLimit ? spec.physAddrLimit
+                                   : spec.physMemBytes;
 
-    // Count usable frames first so the vector never reallocates
-    // (pages are linked into intrusive lists).
-    std::size_t usable = 0;
-    for (PhysAddr pa = 0; pa + machPage <= limit; pa += machPage) {
+    // Count usable frames; entries themselves are materialized from
+    // the zone only as frames are first allocated, so a large machine
+    // pays for page entries in proportion to use, not capacity.
+    for (PhysAddr pa = 0; pa + machPage <= physLimit; pa += machPage) {
         if (machine.memory().usable(pa, machPage))
-            ++usable;
+            ++usableTotal;
     }
-    pages.resize(usable);
-
-    std::size_t i = 0;
-    for (PhysAddr pa = 0; pa + machPage <= limit; pa += machPage) {
-        if (!machine.memory().usable(pa, machPage))
-            continue;  // e.g. the SUN 3 display-memory hole
-        VmPage &p = pages[i++];
-        p.physAddr = pa;
-        p.queue = PageQueue::Free;
-        freeQ.pushBack(&p);
-    }
-
-    // Hash table sized to roughly one bucket per page.
-    std::size_t buckets = 16;
-    while (buckets < pages.size())
-        buckets <<= 1;
-    hashTable = std::vector<HashBucket>(buckets);
+    freshRemaining = usableTotal;
 }
 
-std::size_t
-ResidentPageTable::bucketOf(const VmObject *object, VmOffset offset) const
+VmPage *
+ResidentPageTable::takeFresh()
 {
-    std::uint64_t h = reinterpret_cast<std::uintptr_t>(object);
-    h = (h >> 4) * 0x9e3779b97f4a7c15ull;
-    h ^= (offset / machPage) * 0xff51afd7ed558ccdull;
-    return h & (hashTable.size() - 1);
+    MACH_ASSERT(freshRemaining > 0);
+    while (!machine.memory().usable(freshCursor, machPage))
+        freshCursor += machPage;  // e.g. the SUN 3 display-memory hole
+    VmPage *page = new (pageZone.alloc()) VmPage;
+    page->physAddr = freshCursor;
+    freshCursor += machPage;
+    --freshRemaining;
+    return page;
 }
 
 void
-ResidentPageTable::hashInsert(VmPage *page)
+ResidentPageTable::indexInsert(VmPage *page)
 {
-    hashTable[bucketOf(page->object, page->offset)].pushFront(page);
+    page->object->pageIndex.insert(page->offset / machPage, page);
 }
 
 void
-ResidentPageTable::hashRemove(VmPage *page)
+ResidentPageTable::indexRemove(VmPage *page)
 {
-    hashTable[bucketOf(page->object, page->offset)].remove(page);
+    page->object->pageIndex.erase(page->offset / machPage);
 }
 
 VmPage *
 ResidentPageTable::alloc(VmObject *object, VmOffset offset)
 {
-    VmPage *page = freeQ.popFront();
-    if (!page)
-        return nullptr;
+    // Fresh frames first (ascending addresses), then recycled frames
+    // in FIFO order — the same hand-out order as a boot-time free
+    // list seeded with every frame.
+    VmPage *page;
+    if (freshRemaining > 0) {
+        page = takeFresh();
+    } else {
+        page = freeQ.popFront();
+        if (!page)
+            return nullptr;
+    }
     machine.clock().charge(CostKind::Software,
                            machine.spec.costs.pageQueueOp);
     page->queue = PageQueue::None;
@@ -80,7 +84,7 @@ ResidentPageTable::alloc(VmObject *object, VmOffset offset)
     page->offset = offset;
     if (object) {
         MACH_ASSERT(offset % machPage == 0);
-        hashInsert(page);
+        indexInsert(page);
         object->pages.pushBack(page);
         ++object->residentCount;
     }
@@ -94,7 +98,7 @@ ResidentPageTable::free(VmPage *page)
     if (page->onQueue())
         removeFromQueue(page);
     if (page->object) {
-        hashRemove(page);
+        indexRemove(page);
         page->object->pages.remove(page);
         --page->object->residentCount;
         page->object = nullptr;
@@ -109,12 +113,7 @@ VmPage *
 ResidentPageTable::lookup(VmObject *object, VmOffset offset)
 {
     MACH_ASSERT(offset % machPage == 0);
-    HashBucket &bucket = hashTable[bucketOf(object, offset)];
-    for (VmPage *p : bucket) {
-        if (p->object == object && p->offset == offset)
-            return p;
-    }
-    return nullptr;
+    return object->pageIndex.find(offset / machPage);
 }
 
 void
@@ -123,14 +122,14 @@ ResidentPageTable::rename(VmPage *page, VmObject *new_object,
 {
     MACH_ASSERT(new_offset % machPage == 0);
     if (page->object) {
-        hashRemove(page);
+        indexRemove(page);
         page->object->pages.remove(page);
         --page->object->residentCount;
     }
     page->object = new_object;
     page->offset = new_offset;
     if (new_object) {
-        hashInsert(page);
+        indexInsert(page);
         new_object->pages.pushBack(page);
         ++new_object->residentCount;
     }
@@ -214,7 +213,7 @@ void
 ResidentPageTable::fillStatistics(VmStatistics &st) const
 {
     st.pagesize = machPage;
-    st.freeCount = freeQ.size();
+    st.freeCount = freeCount();
     st.activeCount = activeQ.size();
     st.inactiveCount = inactiveQ.size();
     st.wireCount = nWired;

@@ -4,14 +4,19 @@
  *
  * Physical memory is treated primarily as a cache for the contents of
  * virtual memory objects.  Information about physical pages is kept
- * in page entries indexed by physical page number; each entry may
- * simultaneously be linked into:
+ * in page entries; each entry may simultaneously be linked into:
  *
  *  - a memory object list (to speed object deallocation and virtual
- *    copies),
+ *    copies), and
  *  - a memory allocation queue (free / active / inactive, used by the
- *    paging daemon), and
- *  - an object/offset hash bucket (for fast fault-time lookup).
+ *    paging daemon).
+ *
+ * Fault-time lookup goes through the owning object's radix tree
+ * (page_tree.hh) rather than the paper's global object/offset hash,
+ * so lookup cost no longer depends on machine-wide residency.  Page
+ * entries themselves are materialized lazily from a slab zone
+ * (base/zone.hh) the first time each frame is allocated, preserving
+ * the boot-time free list's ascending-address hand-out order.
  *
  * Byte offsets are used throughout; the Mach page size is a boot-time
  * power-of-two multiple of the hardware page size.
@@ -21,10 +26,10 @@
 #define MACH_VM_VM_PAGE_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "base/intrusive_list.hh"
 #include "base/types.hh"
+#include "base/zone.hh"
 #include "hw/machine.hh"
 #include "sim/trace.hh"
 
@@ -65,7 +70,6 @@ struct VmPage
     /** @name Links @{ */
     ListHook objHook;   //!< object's page list
     ListHook queueHook; //!< allocation queue
-    ListHook hashHook;  //!< object/offset hash bucket
     /** @} */
 
     bool onQueue() const { return queue != PageQueue::None; }
@@ -128,8 +132,10 @@ struct VmStatistics
 };
 
 /**
- * The resident page table: owns every VmPage and the allocation
- * queues and hash table that index them.
+ * The resident page table: owns every VmPage and the global
+ * allocation queues.  Lookup is delegated to the owning object's
+ * radix tree; entry storage comes from a slab zone so frames are
+ * materialized only as they are first used.
  */
 class ResidentPageTable
 {
@@ -155,7 +161,7 @@ class ResidentPageTable
     void free(VmPage *page);
     /** @} */
 
-    /** @name Object/offset hash @{ */
+    /** @name Object/offset lookup (per-object radix tree) @{ */
     /** Find the page caching (@p object, @p offset), or nullptr. */
     VmPage *lookup(VmObject *object, VmOffset offset);
 
@@ -175,8 +181,11 @@ class ResidentPageTable
     /** @} */
 
     /** @name Counters @{ */
-    std::size_t totalPages() const { return pages.size(); }
-    std::size_t freeCount() const { return freeQ.size(); }
+    std::size_t totalPages() const { return usableTotal; }
+    std::size_t freeCount() const
+    {
+        return freeQ.size() + freshRemaining;
+    }
     std::size_t activeCount() const { return activeQ.size(); }
     std::size_t inactiveCount() const { return inactiveQ.size(); }
     std::size_t wiredCount() const { return nWired; }
@@ -185,23 +194,37 @@ class ResidentPageTable
     /** Fill the page-level fields of @p st. */
     void fillStatistics(VmStatistics &st) const;
 
+    /** Slab zone backing the VmPage entries (stats bindable). */
+    Zone pageZone;
+
   private:
     void removeFromQueue(VmPage *page);
-    void hashInsert(VmPage *page);
-    void hashRemove(VmPage *page);
-    std::size_t bucketOf(const VmObject *object, VmOffset offset) const;
+    void indexInsert(VmPage *page);
+    void indexRemove(VmPage *page);
+
+    /** Materialize the next never-used frame's page entry. */
+    VmPage *takeFresh();
 
     Machine &machine;
     VmSize machPage;
-    std::vector<VmPage> pages;
+    PhysAddr physLimit = 0;
 
     using PageQueueList = IntrusiveList<VmPage, &VmPage::queueHook>;
-    using HashBucket = IntrusiveList<VmPage, &VmPage::hashHook>;
 
+    /**
+     * Recycled frames, FIFO.  Fresh frames are handed out first (in
+     * ascending address order, via the bump cursor below), exactly
+     * matching the order of the old boot-time free list that held
+     * every frame up front.
+     */
     PageQueueList freeQ;
     PageQueueList activeQ;
     PageQueueList inactiveQ;
-    std::vector<HashBucket> hashTable;
+
+    std::size_t usableTotal = 0;    //!< usable frames in the machine
+    std::size_t freshRemaining = 0; //!< frames never yet allocated
+    PhysAddr freshCursor = 0;       //!< next fresh frame candidate
+
     std::size_t nWired = 0;
 };
 

@@ -48,6 +48,14 @@ VmSys::VmSys(Machine &machine, PmapSystem &pmaps, VmSize mach_page_size)
     metrics.bind("tlb.batch_ranges_merged", &pmaps.batchRangesMerged);
     metrics.bind("tlb.batch_flushes", &pmaps.batchFlushes);
 
+    metrics.bind("zone.vm_page.chunks", &resident.pageZone.chunks);
+    metrics.bind("zone.vm_page.high_water",
+                 &resident.pageZone.highWater);
+    metrics.bind("zone.map_entry.chunks", &mapEntryZone.chunks);
+    metrics.bind("zone.map_entry.high_water", &mapEntryZone.highWater);
+    metrics.bind("zone.radix_node.chunks", &radixZone.chunks);
+    metrics.bind("zone.radix_node.high_water", &radixZone.highWater);
+
     daemonMetrics.wakeups = metrics.counter("pageout.wakeups");
     daemonMetrics.passes = metrics.counter("pageout.passes");
     daemonMetrics.scanned = metrics.counter("pageout.pages_scanned");

@@ -18,6 +18,7 @@
 
 #include "base/status.hh"
 #include "base/types.hh"
+#include "base/zone.hh"
 #include "hw/machine.hh"
 #include "pmap/pmap.hh"
 #include "sim/metrics.hh"
@@ -50,6 +51,20 @@ class VmSys
     Machine &machine;
     PmapSystem &pmaps;
     ResidentPageTable resident;
+
+    /**
+     * @name Structure zones (base/zone.hh)
+     *
+     * Slab zones shared by every map and object of this VM system:
+     * address-map entry list nodes and per-object radix-tree nodes.
+     * (VmPage entries live in the resident table's own zone.)  Slot
+     * sizes are fixed lazily on first allocation; stats are bound
+     * into the metrics registry as zone.<name>.{chunks,high_water}.
+     * @{
+     */
+    Zone mapEntryZone;
+    Zone radixZone{0, 64};
+    /** @} */
 
     /**
      * The ad-hoc counters of vm_statistics (Table 2-1).  Every field

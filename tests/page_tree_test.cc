@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the sparse resident-page structures: the Zone slab
+ * allocator and the per-object PageTree radix index.  The sparse
+ * extremes (page 0 plus the last page of a 4GB object) and the dense
+ * runs mirror the two shapes the old global hash handled, and the
+ * iteration tests pin the tree's ascending-index order against the
+ * object's intrusive page list, which keeps insertion order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "base/zone.hh"
+#include "hw/machine.hh"
+#include "pmap/pmap.hh"
+#include "test_util.hh"
+#include "vm/page_tree.hh"
+#include "vm/vm_object.hh"
+#include "vm/vm_page.hh"
+#include "vm/vm_sys.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(ZoneTest, LazySlotSizingFixesOnFirstAllocation)
+{
+    Zone z;  // slot size deferred
+    EXPECT_EQ(z.slotSize(), 0u);
+    void *a = z.allocSized(24);
+    EXPECT_GE(z.slotSize(), 24u);
+    // Smaller requests share the established slot.
+    void *b = z.allocSized(8);
+    EXPECT_NE(a, b);
+    z.free(a);
+    z.free(b);
+}
+
+TEST(ZoneTest, FreelistRecyclesMostRecentFree)
+{
+    Zone z(32, 8);
+    void *a = z.alloc();
+    void *b = z.alloc();
+    z.free(b);
+    // LIFO freelist: the slot just returned is handed out next.
+    EXPECT_EQ(z.alloc(), b);
+    z.free(a);
+}
+
+TEST(ZoneTest, StatsTrackChunksAndHighWater)
+{
+    Zone z(64, 4);  // tiny chunks so growth is observable
+    std::vector<void *> live;
+    for (int i = 0; i < 10; ++i)
+        live.push_back(z.alloc());
+    EXPECT_EQ(z.chunks, 3u);  // ceil(10 / 4)
+    EXPECT_EQ(z.allocs, 10u);
+    EXPECT_EQ(z.inUse, 10u);
+    EXPECT_EQ(z.highWater, 10u);
+
+    for (void *p : live)
+        z.free(p);
+    EXPECT_EQ(z.frees, 10u);
+    EXPECT_EQ(z.inUse, 0u);
+    EXPECT_EQ(z.highWater, 10u);  // high water never recedes
+
+    // Recycling reuses chunks instead of growing new ones.
+    for (int i = 0; i < 10; ++i)
+        z.alloc();
+    EXPECT_EQ(z.chunks, 3u);
+    EXPECT_EQ(z.highWater, 10u);
+}
+
+TEST(ZoneTest, FreshSlotsComeOutInAscendingAddressOrder)
+{
+    Zone z(48, 16);
+    void *prev = z.alloc();
+    for (int i = 1; i < 16; ++i) {
+        void *p = z.alloc();
+        EXPECT_LT(prev, p) << "slot " << i;
+        prev = p;
+    }
+}
+
+TEST(ZoneTest, BacksAStdList)
+{
+    Zone z;
+    std::list<std::uint64_t, ZoneAllocator<std::uint64_t>> l{
+        ZoneAllocator<std::uint64_t>(&z)};
+    for (std::uint64_t i = 0; i < 100; ++i)
+        l.push_back(i);
+    EXPECT_EQ(z.inUse, 100u);
+    std::uint64_t want = 0;
+    for (std::uint64_t v : l)
+        EXPECT_EQ(v, want++);
+    while (!l.empty())
+        l.pop_front();
+    EXPECT_EQ(z.inUse, 0u);
+    // Refill is pure freelist recycling.
+    std::uint64_t chunks = z.chunks;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        l.push_front(i);
+    EXPECT_EQ(z.chunks, chunks);
+}
+
+/** A tagged pointer the tree stores but never dereferences. */
+VmPage *
+fakePage(std::uint64_t key)
+{
+    return reinterpret_cast<VmPage *>((key + 1) << 4);
+}
+
+class PageTreeTest : public ::testing::Test
+{
+  protected:
+    Zone zone{0, 64};
+    PageTree tree{zone};
+};
+
+TEST_F(PageTreeTest, EmptyTreeFindsNothing)
+{
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.find(0), nullptr);
+    EXPECT_EQ(tree.find(~std::uint64_t(0)), nullptr);
+    bool visited = false;
+    tree.forEach([&](std::uint64_t, VmPage *) { visited = true; });
+    EXPECT_FALSE(visited);
+}
+
+TEST_F(PageTreeTest, SparseExtremesOfA4GbObjectStayCheap)
+{
+    // Page 0 and the last page of a 4GB object at the smallest Mach
+    // page size (512 bytes): index (4GB / 512) - 1.
+    const std::uint64_t last = (std::uint64_t(4) << 30) / 512 - 1;
+    tree.insert(0, fakePage(0));
+    tree.insert(last, fakePage(last));
+
+    EXPECT_EQ(tree.size(), 2u);
+    EXPECT_EQ(tree.find(0), fakePage(0));
+    EXPECT_EQ(tree.find(last), fakePage(last));
+
+    // Neighbours are absent, including keys past the current height.
+    EXPECT_EQ(tree.find(1), nullptr);
+    EXPECT_EQ(tree.find(last - 1), nullptr);
+    EXPECT_EQ(tree.find(last + 1), nullptr);
+    EXPECT_EQ(tree.find(~std::uint64_t(0)), nullptr);
+
+    // Sparseness: two extreme pages cost a handful of radix nodes,
+    // not a table sized for the whole 8M-page span.
+    EXPECT_LE(zone.inUse, 2 * PageTree::kMaxHeight);
+
+    tree.erase(0);
+    tree.erase(last);
+    EXPECT_TRUE(tree.empty());
+}
+
+TEST_F(PageTreeTest, DenseRunIteratesInAscendingOrder)
+{
+    // Insert a dense run in a scrambled order; iteration must come
+    // back sorted by page index with every page present once.
+    constexpr std::uint64_t kPages = 1000;
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < kPages; ++i)
+        keys.push_back((i * 631) % kPages);  // 631 coprime to 1000
+    for (std::uint64_t k : keys)
+        tree.insert(k, fakePage(k));
+    ASSERT_EQ(tree.size(), kPages);
+
+    std::vector<std::uint64_t> seen;
+    tree.forEach([&](std::uint64_t key, VmPage *page) {
+        EXPECT_EQ(page, fakePage(key));
+        seen.push_back(key);
+    });
+    ASSERT_EQ(seen.size(), kPages);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    EXPECT_EQ(seen.front(), 0u);
+    EXPECT_EQ(seen.back(), kPages - 1);
+}
+
+TEST_F(PageTreeTest, EraseKeepsNodeSkeletonForRefault)
+{
+    // Pageout eviction followed by a refault is the hot cycle; the
+    // node skeleton must survive the erase so the reinsert does no
+    // allocator work.
+    tree.insert(12345, fakePage(12345));
+    std::uint64_t nodes = zone.inUse;
+    std::uint64_t allocs = zone.allocs;
+
+    tree.erase(12345);
+    EXPECT_EQ(tree.find(12345), nullptr);
+    EXPECT_EQ(zone.inUse, nodes) << "erase must not prune nodes";
+
+    tree.insert(12345, fakePage(12345));
+    EXPECT_EQ(zone.allocs, allocs) << "refault reuses the skeleton";
+    EXPECT_EQ(tree.find(12345), fakePage(12345));
+}
+
+TEST_F(PageTreeTest, RootGrowthPreservesExistingKeys)
+{
+    tree.insert(5, fakePage(5));
+    // Each insert forces the root higher; old keys must survive.
+    for (unsigned shift = 6; shift < 63; shift += 6) {
+        std::uint64_t key = std::uint64_t(1) << shift;
+        tree.insert(key, fakePage(key));
+        ASSERT_EQ(tree.find(5), fakePage(5)) << "shift " << shift;
+        ASSERT_EQ(tree.find(key), fakePage(key));
+    }
+    std::uint64_t expect = tree.size();
+    std::uint64_t count = 0;
+    tree.forEach([&](std::uint64_t, VmPage *) { ++count; });
+    EXPECT_EQ(count, expect);
+}
+
+TEST_F(PageTreeTest, DestructorReleasesAllNodes)
+{
+    {
+        Zone z(0, 8);
+        {
+            PageTree t(z);
+            for (std::uint64_t i = 0; i < 500; ++i)
+                t.insert(i * 97, fakePage(i));
+            EXPECT_GT(z.inUse, 0u);
+        }
+        EXPECT_EQ(z.inUse, 0u);
+    }
+}
+
+/** The tree inside a live VmObject, against the intrusive list. */
+class PageIndexTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec = test::tinySpec(ArchType::Vax, 4);
+        machine = std::make_unique<Machine>(spec);
+        pmaps = PmapSystem::build(*machine);
+        pmaps->init(spec.hwPageSize());
+        vm = std::make_unique<VmSys>(*machine, *pmaps,
+                                     spec.hwPageSize());
+        page = vm->pageSize();
+    }
+
+    MachineSpec spec;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<PmapSystem> pmaps;
+    std::unique_ptr<VmSys> vm;
+    VmSize page = 0;
+};
+
+TEST_F(PageIndexTest, ObjectIndexAgreesWithIntrusiveList)
+{
+    // Allocate pages at scrambled offsets: the intrusive list keeps
+    // insertion order (the old lookup structure's iteration order),
+    // the radix index sorts by page index, and both must hold the
+    // same page set, each page findable by offset.
+    VmObject *obj = VmObject::allocate(*vm, 64 * page);
+    const unsigned order[] = {9, 2, 40, 0, 63, 17, 33, 5, 21, 58};
+    std::vector<VmPage *> inserted;
+    for (unsigned i : order)
+        inserted.push_back(vm->allocPage(obj, i * page));
+
+    // Insertion order on the list...
+    std::size_t pos = 0;
+    for (VmPage *p : obj->pages) {
+        ASSERT_LT(pos, inserted.size());
+        EXPECT_EQ(p, inserted[pos]) << "list position " << pos;
+        ++pos;
+    }
+    EXPECT_EQ(pos, inserted.size());
+
+    // ...ascending page index on the tree, same members.
+    std::vector<unsigned> tree_keys;
+    obj->pageIndex.forEach([&](std::uint64_t key, VmPage *p) {
+        tree_keys.push_back(unsigned(key));
+        EXPECT_EQ(p->object, obj);
+        EXPECT_EQ(p->offset, key * page);
+        EXPECT_TRUE(std::find(inserted.begin(), inserted.end(), p) !=
+                    inserted.end());
+    });
+    std::vector<unsigned> want(std::begin(order), std::end(order));
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(tree_keys, want);
+    EXPECT_EQ(obj->residentCount, inserted.size());
+
+    // Point lookups agree with both structures.
+    for (unsigned i : order)
+        EXPECT_EQ(obj->pageAt(i * page)->offset, i * page);
+    EXPECT_EQ(obj->pageAt(7 * page), nullptr);
+
+    obj->deallocate();
+}
+
+TEST_F(PageIndexTest, FreeingPagesEmptiesTheIndex)
+{
+    VmObject *obj = VmObject::allocate(*vm, 8 * page);
+    VmPage *a = vm->allocPage(obj, 0);
+    VmPage *b = vm->allocPage(obj, 5 * page);
+    EXPECT_EQ(obj->pageIndex.size(), 2u);
+    vm->resident.free(a);
+    EXPECT_EQ(obj->pageAt(0), nullptr);
+    EXPECT_EQ(obj->pageAt(5 * page), b);
+    vm->resident.free(b);
+    EXPECT_TRUE(obj->pageIndex.empty());
+    EXPECT_EQ(obj->residentCount, 0u);
+    obj->deallocate();
+}
+
+} // namespace
+} // namespace mach

@@ -294,6 +294,99 @@ TEST_P(MapProperty, InheritanceIsObeyedByFork)
     pmaps->destroy(child_pmap);
 }
 
+TEST_P(MapProperty, LookupAfterMutationHammersTheHint)
+{
+    // Every erase/clip/splice path must leave the last-fault hint
+    // safe: entry nodes are zone-recycled, so a stale hint reads a
+    // reused node instead of faulting.  Plant the hint on the exact
+    // entries about to be mutated, mutate, and look up again on both
+    // sides — the sanitizer build catches the deref, the model check
+    // catches a silently wrong answer.
+    Rng rng(GetParam() * 2654435761u);
+    std::map<unsigned, RefPage> model;
+
+    auto probe = [&](unsigned pg) {
+        VmMap::LookupResult lr;
+        KernReturn kr = map->lookup(pageAddr(pg), FaultType::Read,
+                                    lr);
+        auto it = model.find(pg);
+        if (it == model.end()) {
+            EXPECT_EQ(kr, KernReturn::InvalidAddress)
+                << "page " << pg;
+        } else if (!protIncludes(it->second.prot, VmProt::Read)) {
+            EXPECT_EQ(kr, KernReturn::ProtectionFailure)
+                << "page " << pg;
+        } else {
+            ASSERT_EQ(kr, KernReturn::Success) << "page " << pg;
+            EXPECT_EQ(lr.prot, it->second.prot) << "page " << pg;
+        }
+    };
+
+    for (unsigned step = 0; step < 800; ++step) {
+        unsigned start = rng.next(kPages);
+        unsigned len = 1 + rng.next(6);
+        if (start + len > kPages)
+            len = kPages - start;
+        if (len == 0)
+            continue;
+
+        // Plant the hint on (or right after) the target range.
+        probe(start);
+        if (start + len < kPages)
+            probe(start + len);
+
+        unsigned op = rng.next(100);
+        if (op < 40) {
+            VmOffset addr = pageAddr(start);
+            bool free = true;
+            for (unsigned i = start; i < start + len; ++i)
+                free = free && !model.count(i);
+            KernReturn kr = map->allocate(&addr, len * page, false);
+            EXPECT_EQ(kr == KernReturn::Success, free);
+            if (kr == KernReturn::Success) {
+                for (unsigned i = start; i < start + len; ++i)
+                    model[i] = RefPage{};
+            }
+        } else if (op < 75) {
+            // Deallocate erases the entry the hint points at.
+            ASSERT_EQ(map->deallocate(pageAddr(start), len * page),
+                      KernReturn::Success);
+            for (unsigned i = start; i < start + len; ++i)
+                model.erase(i);
+        } else {
+            // Protect clips the hinted entry at both edges.
+            static const VmProt kProts[] = {
+                VmProt::Read, VmProt::Default, VmProt::All};
+            VmProt p = kProts[rng.next(3)];
+            bool covered = true;
+            for (unsigned i = start; i < start + len; ++i)
+                covered = covered && model.count(i);
+            KernReturn kr = map->protect(pageAddr(start), len * page,
+                                         false, p);
+            EXPECT_EQ(kr == KernReturn::Success, covered);
+            if (kr == KernReturn::Success) {
+                for (unsigned i = start; i < start + len; ++i)
+                    model[i].prot = p;
+            }
+        }
+
+        // Immediately walk from the (possibly invalidated) hint in
+        // both directions, plus a random far probe.
+        probe(start);
+        if (start > 0)
+            probe(start - 1);
+        if (start + len < kPages)
+            probe(start + len);
+        probe(rng.next(kPages));
+
+        // Splice-on-coalesce is the other erase path; hammer it too.
+        map->simplify();
+        probe(start);
+        checkStructure();
+    }
+    checkAgainstModel(model);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MapProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
                                            21u, 34u));

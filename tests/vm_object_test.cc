@@ -315,5 +315,46 @@ TEST_F(VmObjectTest, DataLockBookkeeping)
     obj->deallocate();
 }
 
+TEST_F(VmObjectTest, TerminationPurgesDataLocks)
+{
+    // The locks die with the data: termination with live lock
+    // entries must purge them (the sanitizer build asserts the map
+    // is empty at destruction).
+    std::uint64_t live0 = vm->liveObjects;
+    VmObject *obj = VmObject::allocate(*vm, 4 * page);
+    makeResident(obj, page, 1);
+    obj->setLock(page, VmProt::Write);
+    obj->setLock(3 * page, VmProt::All);
+    obj->deallocate();
+    EXPECT_EQ(vm->liveObjects, live0);
+}
+
+TEST_F(VmObjectTest, CollapseAdoptsBackingLocksThroughWindow)
+{
+    // A merged backing object's locks guard data the shadow now
+    // serves, so they must be adopted translated by the shadow
+    // window; locks outside the window die with the backing object,
+    // and the shadow's own locks take priority.
+    VmObject *backing = VmObject::allocate(*vm, 4 * page);
+    makeResident(backing, 3 * page, 7);
+    backing->setLock(0, VmProt::All);         // below the window
+    backing->setLock(2 * page, VmProt::All);  // window start
+    backing->setLock(3 * page, VmProt::Write);
+
+    VmObject *obj = backing;
+    VmOffset off = 2 * page;
+    VmObject::makeShadow(obj, off, 2 * page);
+    ASSERT_EQ(obj->shadowOffsetOf(), 2 * page);
+    obj->setLock(0, VmProt::Read);  // shadows backing's 2*page lock
+
+    obj->collapse();
+    ASSERT_EQ(obj->shadowObject(), nullptr);
+    EXPECT_EQ(obj->lockOf(0), VmProt::Read) << "own lock wins";
+    EXPECT_EQ(obj->lockOf(page), VmProt::Write) << "adopted";
+    EXPECT_EQ(obj->pageLocks.size(), 2u)
+        << "out-of-window lock must not survive";
+    obj->deallocate();
+}
+
 } // namespace
 } // namespace mach
