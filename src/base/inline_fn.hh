@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Non-allocating callable wrappers for the simulation hot loop.
+ *
+ * std::function costs the hot paths twice: a possible heap allocation
+ * when the callable outgrows the small-buffer optimization (the
+ * shootdown flush lambdas do), and an indirect call through a
+ * type-erased manager even when it does not.  The translate/fault/
+ * shootdown paths only need two much cheaper shapes:
+ *
+ *  - FunctionRef: a non-owning view of a callable that outlives the
+ *    call (an IPI handler invoked synchronously).  Two words, no
+ *    allocation, no destructor.
+ *  - InplaceFunction: an owning callable with a fixed inline buffer
+ *    (the installed fault handler, deferred tick work).  Assignment
+ *    of a too-large callable is a compile-time error, so a heap
+ *    fallback can never silently reappear.
+ */
+
+#ifndef MACH_BASE_INLINE_FN_HH
+#define MACH_BASE_INLINE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+template <typename Signature>
+class FunctionRef;
+
+/**
+ * A non-owning reference to a callable.  The referenced callable must
+ * outlive every invocation; use only where the callee runs the
+ * function before returning (Machine::ipi, dispatchFlush).
+ */
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    FunctionRef() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+    FunctionRef(F &&f)  // NOLINT: implicit by design, like string_view
+        : obj(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call([](void *o, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(o))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return call(obj, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return call != nullptr; }
+
+  private:
+    void *obj = nullptr;
+    R (*call)(void *, Args...) = nullptr;
+};
+
+template <typename Signature, std::size_t Capacity>
+class InplaceFunction;
+
+/**
+ * An owning callable stored entirely in a @p Capacity byte inline
+ * buffer.  Move-only (the stored callables capture by reference or
+ * move; nothing on these paths needs copies).
+ */
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity>
+{
+  public:
+    InplaceFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cvref_t<F>, InplaceFunction>>>
+    InplaceFunction(F &&f)  // NOLINT: implicit, mirrors std::function
+    {
+        assign(std::forward<F>(f));
+    }
+
+    InplaceFunction(InplaceFunction &&other) noexcept { takeFrom(other); }
+
+    InplaceFunction &
+    operator=(InplaceFunction &&other) noexcept
+    {
+        if (this != &other) {
+            clear();
+            takeFrom(other);
+        }
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cvref_t<F>, InplaceFunction>>>
+    InplaceFunction &
+    operator=(F &&f)
+    {
+        clear();
+        assign(std::forward<F>(f));
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction &) = delete;
+    InplaceFunction &operator=(const InplaceFunction &) = delete;
+
+    ~InplaceFunction() { clear(); }
+
+    R
+    operator()(Args... args)
+    {
+        MACH_ASSERT(call != nullptr);
+        return call(&storage, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return call != nullptr; }
+
+  private:
+    template <typename F>
+    void
+    assign(F &&f)
+    {
+        using Fn = std::remove_cvref_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callable exceeds InplaceFunction capacity");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        static_assert(std::is_nothrow_move_constructible_v<Fn>);
+        ::new (static_cast<void *>(&storage)) Fn(std::forward<F>(f));
+        call = [](void *s, Args... args) -> R {
+            return (*static_cast<Fn *>(s))(std::forward<Args>(args)...);
+        };
+        relocate = [](void *dst, void *src) noexcept {
+            auto *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        };
+        destroy = [](void *s) noexcept { static_cast<Fn *>(s)->~Fn(); };
+    }
+
+    void
+    takeFrom(InplaceFunction &other) noexcept
+    {
+        if (!other.call)
+            return;
+        other.relocate(&storage, &other.storage);
+        call = other.call;
+        relocate = other.relocate;
+        destroy = other.destroy;
+        other.call = nullptr;
+        other.relocate = nullptr;
+        other.destroy = nullptr;
+    }
+
+    void
+    clear() noexcept
+    {
+        if (destroy)
+            destroy(&storage);
+        call = nullptr;
+        relocate = nullptr;
+        destroy = nullptr;
+    }
+
+    alignas(std::max_align_t) std::byte storage[Capacity];
+    R (*call)(void *, Args...) = nullptr;
+    void (*relocate)(void *, void *) noexcept = nullptr;
+    void (*destroy)(void *) noexcept = nullptr;
+};
+
+} // namespace mach
+
+#endif // MACH_BASE_INLINE_FN_HH

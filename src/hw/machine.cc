@@ -46,6 +46,8 @@ Machine::bindSpace(CpuId cpu_id, TranslationSource *space)
     if (c.space == space)
         return;
     c.space = space;
+    c.spaceTag = space ? space->tlbTag() : nullptr;
+    c.hwOps = space ? space->hwOps() : nullptr;
     simClock.charge(CostKind::PmapOp, spec.costs.contextLoad);
     // Untagged TLBs must be flushed on every address-space switch.
     if (!spec.tlbTaggedByContext)
@@ -97,19 +99,21 @@ Machine::translate(Cpu &c, VmOffset va, AccessType type, PhysAddr &out,
         return false;
     }
 
-    const void *tag = c.space->tlbTag();
+    const void *tag = c.spaceTag;
     VmOffset vpn = c.tlb.vpnOf(va);
     TlbEntry *entry = c.tlb.lookup(tag, vpn);
     if (!entry) {
-        // TLB miss: walk the machine-dependent structure.
+        // TLB miss: walk the machine-dependent structure through the
+        // concrete dispatch table (devirtualized per pmap type).
         simClock.charge(CostKind::TlbMiss, spec.costs.ptWalk);
-        auto tr = c.space->hwLookup(truncTo(va, hwPageSize()), type);
+        const HwOps &ops = *c.hwOps;
+        auto tr = ops.lookup(c.space, truncTo(va, hwPageSize()), type);
         if (!tr) {
             fault_out = reported;
             return false;
         }
-        entry = c.tlb.insert(tag, vpn, *tr);
-        c.space->hwMarkReferenced(va);
+        entry = c.tlb.insertMissed(tag, vpn, *tr);
+        ops.markRef(c.space, va);
     }
 
     if (!protIncludes(entry->prot, accessProt(type))) {
@@ -118,7 +122,7 @@ Machine::translate(Cpu &c, VmOffset va, AccessType type, PhysAddr &out,
     }
 
     if (accessWrites(type) && !entry->modified) {
-        c.space->hwMarkModified(va);
+        c.hwOps->markMod(c.space, va);
         entry->modified = true;
     }
 
@@ -127,25 +131,17 @@ Machine::translate(Cpu &c, VmOffset va, AccessType type, PhysAddr &out,
 }
 
 KernReturn
-Machine::accessOne(CpuId cpu_id, VmOffset va, VmSize len, AccessType type,
-                   void *buf)
+Machine::faultingTranslate(Cpu &c, VmOffset va, AccessType type,
+                           PhysAddr &pa)
 {
-    Cpu &c = cpu(cpu_id);
     for (unsigned attempt = 0; attempt < kMaxFaultRetries; ++attempt) {
-        PhysAddr pa;
         FaultType ft;
-        if (translate(c, va, type, pa, ft)) {
-            if (buf && type == AccessType::Read) {
-                physMem.read(pa, buf, len);
-            } else if (buf && accessWrites(type)) {
-                physMem.write(pa, buf, len);
-            }
+        if (translate(c, va, type, pa, ft))
             return KernReturn::Success;
-        }
         ++faults;
         if (!faultHandler)
             return KernReturn::InvalidAddress;
-        KernReturn kr = faultHandler(cpu_id, va, ft);
+        KernReturn kr = faultHandler(c.id, va, ft);
         if (kr != KernReturn::Success)
             return kr;
     }
@@ -154,8 +150,31 @@ Machine::accessOne(CpuId cpu_id, VmOffset va, VmSize len, AccessType type,
 }
 
 KernReturn
+Machine::accessOne(CpuId cpu_id, VmOffset va, VmSize len, AccessType type,
+                   void *buf)
+{
+    Cpu &c = cpu(cpu_id);
+    PhysAddr pa;
+    KernReturn kr = faultingTranslate(c, va, type, pa);
+    if (kr != KernReturn::Success)
+        return kr;
+    if (buf && type == AccessType::Read) {
+        physMem.read(pa, buf, len);
+    } else if (buf && accessWrites(type)) {
+        physMem.write(pa, buf, len);
+    }
+    return KernReturn::Success;
+}
+
+KernReturn
 Machine::read(CpuId cpu_id, VmOffset va, void *buf, VmSize len)
 {
+    if (len == 0)
+        return KernReturn::Success;
+    // Reject ranges that wrap the top of the address space (the
+    // arithmetic below would silently restart at va 0).
+    if (va + (len - 1) < va)
+        return KernReturn::InvalidAddress;
     auto *out = static_cast<std::uint8_t *>(buf);
     VmSize page = hwPageSize();
     while (len > 0) {
@@ -174,6 +193,10 @@ Machine::read(CpuId cpu_id, VmOffset va, void *buf, VmSize len)
 KernReturn
 Machine::write(CpuId cpu_id, VmOffset va, const void *buf, VmSize len)
 {
+    if (len == 0)
+        return KernReturn::Success;
+    if (va + (len - 1) < va)
+        return KernReturn::InvalidAddress;
     auto *in = static_cast<const std::uint8_t *>(buf);
     VmSize page = hwPageSize();
     while (len > 0) {
@@ -192,13 +215,24 @@ Machine::write(CpuId cpu_id, VmOffset va, const void *buf, VmSize len)
 KernReturn
 Machine::touch(CpuId cpu_id, VmOffset va, VmSize len, AccessType type)
 {
+    if (len == 0)
+        return KernReturn::Success;
+    VmOffset last = va + (len - 1);
+    // A wrapped range used to make `end = va + len` land below va and
+    // the loop touch nothing; reject it instead.
+    if (last < va)
+        return KernReturn::InvalidAddress;
     VmSize page = hwPageSize();
-    VmOffset end = va + len;
-    for (VmOffset p = truncTo(va, page); p < end; p += page) {
+    VmOffset lastPage = truncTo(last, page);
+    // Iterate by page start, inclusive of lastPage, so ranges ending
+    // exactly at the top of the address space still touch every page.
+    for (VmOffset p = truncTo(va, page);; p += page) {
         KernReturn kr = accessOne(cpu_id, std::max(p, va),
                                   1, type, nullptr);
         if (kr != KernReturn::Success)
             return kr;
+        if (p == lastPage)
+            break;
     }
     return KernReturn::Success;
 }
@@ -207,27 +241,15 @@ KernReturn
 Machine::probe(CpuId cpu_id, VmOffset va, AccessType type,
                PhysAddr *pa_out)
 {
-    Cpu &c = cpu(cpu_id);
-    for (unsigned attempt = 0; attempt < kMaxFaultRetries; ++attempt) {
-        PhysAddr pa;
-        FaultType ft;
-        if (translate(c, va, type, pa, ft)) {
-            if (pa_out)
-                *pa_out = pa;
-            return KernReturn::Success;
-        }
-        ++faults;
-        if (!faultHandler)
-            return KernReturn::InvalidAddress;
-        KernReturn kr = faultHandler(cpu_id, va, ft);
-        if (kr != KernReturn::Success)
-            return kr;
-    }
-    panic("fault livelock at va %#llx (probe)", (unsigned long long)va);
+    PhysAddr pa;
+    KernReturn kr = faultingTranslate(cpu(cpu_id), va, type, pa);
+    if (kr == KernReturn::Success && pa_out)
+        *pa_out = pa;
+    return kr;
 }
 
 void
-Machine::ipi(CpuId target, const std::function<void(Cpu &)> &fn)
+Machine::ipi(CpuId target, FunctionRef<void(Cpu &)> fn)
 {
     simClock.charge(CostKind::Ipi, spec.costs.ipi);
     ++ipis;
@@ -235,7 +257,7 @@ Machine::ipi(CpuId target, const std::function<void(Cpu &)> &fn)
 }
 
 void
-Machine::deferUntilTick(std::function<void()> fn)
+Machine::deferUntilTick(DeferredFn fn)
 {
     deferred.push_back(std::move(fn));
 }
@@ -245,11 +267,13 @@ Machine::timerTick()
 {
     ++ticks;
     // Work queued before the tick runs now; work a callback queues
-    // runs at the *next* tick.
-    std::vector<std::function<void()>> work;
-    work.swap(deferred);
-    for (auto &fn : work)
+    // runs at the *next* tick.  `running` is a member so its buffer
+    // (and the one it swaps into `deferred`) is reused across ticks.
+    running.clear();
+    running.swap(deferred);
+    for (auto &fn : running)
         fn();
+    running.clear();
 }
 
 std::uint64_t

@@ -16,10 +16,10 @@
 #define MACH_HW_MACHINE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "base/inline_fn.hh"
 #include "base/status.hh"
 #include "base/types.hh"
 #include "hw/machine_spec.hh"
@@ -45,6 +45,14 @@ class Cpu
     Tlb tlb;
     /** The translation source (pmap) currently loaded on this CPU. */
     TranslationSource *space = nullptr;
+    /**
+     * Cached from space at bind time so the translate hot loop does
+     * not re-derive them per access: the TLB tag (stable for the
+     * lifetime of a binding) and the concrete miss-path dispatch
+     * table.
+     */
+    const void *spaceTag = nullptr;
+    const HwOps *hwOps = nullptr;
 };
 
 /**
@@ -58,10 +66,15 @@ class Machine
      * The machine-independent page-fault handler.  Receives the CPU,
      * the faulting address, and the fault type *as the hardware
      * reports it* (which on a buggy NS32082 may be Read for an RMW
-     * access); returns Success to retry the access.
+     * access); returns Success to retry the access.  Stored inline —
+     * installing a handler never allocates, and invoking it on every
+     * fault is a single indirect call.
      */
     using FaultHandler =
-        std::function<KernReturn(CpuId, VmOffset, FaultType)>;
+        InplaceFunction<KernReturn(CpuId, VmOffset, FaultType), 64>;
+
+    /** Work queued for the next timer tick (stored inline). */
+    using DeferredFn = InplaceFunction<void(), 128>;
 
     explicit Machine(const MachineSpec &spec);
 
@@ -120,16 +133,17 @@ class Machine
     /**
      * Deliver an inter-processor interrupt to @p target and run
      * @p fn in its context (simulated synchronously; charges IPI
-     * cost).
+     * cost).  @p fn is only referenced for the duration of the call,
+     * so temporaries are fine.
      */
-    void ipi(CpuId target, const std::function<void(Cpu &)> &fn);
+    void ipi(CpuId target, FunctionRef<void(Cpu &)> fn);
 
     /**
      * Queue work to run at the next timer tick (the paper's case 2:
      * postpone use of a changed mapping until all CPUs have taken a
      * timer interrupt).
      */
-    void deferUntilTick(std::function<void()> fn);
+    void deferUntilTick(DeferredFn fn);
 
     /** Deliver a timer tick: run and clear all deferred work. */
     void timerTick();
@@ -159,6 +173,15 @@ class Machine
     bool translate(Cpu &cpu, VmOffset va, AccessType type,
                    PhysAddr &out, FaultType &fault_out);
 
+    /**
+     * Translate @p va, faulting and retrying up to kMaxFaultRetries.
+     * The single home of the fault-retry policy: accessOne and probe
+     * both go through here so the fault counter, handler dispatch,
+     * and livelock diagnostics cannot drift apart.
+     */
+    KernReturn faultingTranslate(Cpu &c, VmOffset va, AccessType type,
+                                 PhysAddr &pa);
+
     /** Access one hw-page-contained range, faulting and retrying. */
     KernReturn accessOne(CpuId cpu_id, VmOffset va, VmSize len,
                          AccessType type, void *buf);
@@ -167,7 +190,8 @@ class Machine
     PhysMemory physMem;
     std::vector<std::unique_ptr<Cpu>> cpus;
     FaultHandler faultHandler;
-    std::vector<std::function<void()>> deferred;
+    std::vector<DeferredFn> deferred;
+    std::vector<DeferredFn> running; //!< timerTick scratch (reused)
     std::uint64_t ipis = 0;
     std::uint64_t faults = 0;
     std::uint64_t ticks = 0;

@@ -8,8 +8,24 @@ namespace mach
 {
 
 PhysMemory::PhysMemory(const MachineSpec &spec, SimClock &clock)
-    : spec(spec), clock(clock), store(spec.physMemBytes, 0)
+    : spec(spec), clock(clock), store(spec.physMemBytes, 0),
+      frameShift(spec.hwPageShift)
 {
+    // The store starts zero-filled, so every frame starts known-zero.
+    std::size_t frames =
+        std::size_t(store.size() >> frameShift) + 1;
+    zeroBits.assign((frames + 63) / 64, ~std::uint64_t(0));
+    // Hole frames are never "known zero": the inline zero() fast path
+    // must fall through to the slow path's unusable-range panic.
+    const VmSize frame = VmSize(1) << frameShift;
+    for (const AddrRange &hole : spec.physHoles) {
+        for (PhysAddr pa = truncTo(hole.start, frame); pa < hole.end;
+             pa += frame) {
+            FrameNum f = pa >> frameShift;
+            if (f >> 6 < zeroBits.size())
+                zeroBits[f >> 6] &= ~(std::uint64_t(1) << (f & 63));
+        }
+    }
 }
 
 bool
@@ -25,9 +41,10 @@ PhysMemory::usable(PhysAddr pa, VmSize len) const
 }
 
 std::uint8_t *
-PhysMemory::data(PhysAddr pa)
+PhysMemory::data(PhysAddr pa, VmSize len)
 {
-    MACH_ASSERT(usable(pa, 1));
+    MACH_ASSERT(usable(pa, len ? len : 1));
+    markWritten(pa, len);
     return store.data() + pa;
 }
 
@@ -55,16 +72,35 @@ PhysMemory::write(PhysAddr pa, const void *buf, VmSize len)
         panic("phys write of unusable range [%#llx, %#llx)",
               (unsigned long long)pa, (unsigned long long)(pa + len));
     std::memcpy(store.data() + pa, buf, len);
+    markWritten(pa, len);
     clock.charge(CostKind::MemCopy, spec.costs.copyCost(len));
 }
 
 void
-PhysMemory::zero(PhysAddr pa, VmSize len)
+PhysMemory::zeroSlow(PhysAddr pa, VmSize len)
 {
     if (!usable(pa, len))
         panic("phys zero of unusable range [%#llx, %#llx)",
               (unsigned long long)pa, (unsigned long long)(pa + len));
-    std::memset(store.data() + pa, 0, len);
+    // Skip the host memset for whole frames still known zero; the
+    // simulated cost is charged unconditionally below, so the cost
+    // model sees no difference.
+    const VmSize frame = VmSize(1) << frameShift;
+    PhysAddr p = pa;
+    const PhysAddr end = pa + len;
+    while (p < end) {
+        PhysAddr fbase = p & ~(frame - 1);
+        PhysAddr chunkEnd = fbase + frame < end ? fbase + frame : end;
+        FrameNum f = fbase >> frameShift;
+        std::uint64_t bit = std::uint64_t(1) << (f & 63);
+        bool whole = p == fbase && chunkEnd == fbase + frame;
+        if (!whole || !(zeroBits[f >> 6] & bit)) {
+            std::memset(store.data() + p, 0, chunkEnd - p);
+            if (whole)
+                zeroBits[f >> 6] |= bit;
+        }
+        p = chunkEnd;
+    }
     clock.charge(CostKind::MemZero, spec.costs.zeroCost(len));
 }
 
@@ -74,6 +110,7 @@ PhysMemory::copy(PhysAddr src, PhysAddr dst, VmSize len)
     MACH_ASSERT(usable(src, len));
     MACH_ASSERT(usable(dst, len));
     std::memmove(store.data() + dst, store.data() + src, len);
+    markWritten(dst, len);
     clock.charge(CostKind::MemCopy, spec.costs.copyCost(len));
 }
 

@@ -8,6 +8,15 @@
  * pmap_zero_page.  Page-frame accounting lives above this, in the
  * machine-independent resident page table; this class only owns the
  * bytes.
+ *
+ * Zero tracking: the store keeps one bit per hardware frame recording
+ * "this frame's bytes are all zero".  pmap_zero_page on a frame that
+ * is still zero (the common case when zero-filled pages recycle
+ * through the free list untouched) skips the host memset; the
+ * simulated zero cost is charged either way, so the cost model is
+ * unaffected.  Every mutation path — write(), copy(), and the
+ * mutable data() view — clears the bits it covers, which is why the
+ * mutable data() overload requires an explicit length.
  */
 
 #ifndef MACH_HW_PHYS_MEMORY_HH
@@ -35,8 +44,14 @@ class PhysMemory
     /** True if [pa, pa+len) is RAM (in range and not in a hole). */
     bool usable(PhysAddr pa, VmSize len) const;
 
-    /** Raw pointer to physical byte @p pa (asserts usable). */
-    std::uint8_t *data(PhysAddr pa);
+    /**
+     * Raw mutable view of [pa, pa+len) (asserts usable).  The length
+     * bounds the caller's writes: zero tracking for every frame the
+     * span touches is invalidated, so writing beyond it would leave
+     * stale "known zero" state behind.
+     */
+    std::uint8_t *data(PhysAddr pa, VmSize len);
+    /** Raw read-only pointer to physical byte @p pa (asserts usable). */
     const std::uint8_t *data(PhysAddr pa) const;
 
     /** Copy bytes out of physical memory, charging copy cost. */
@@ -47,8 +62,24 @@ class PhysMemory
 
     /**
      * Zero a physical range (pmap_zero_page), charging zero cost.
+     * Frames already known to be zero are skipped on the host; the
+     * whole-frame recycle case (the fault path's zero-fill) stays
+     * inline as a bit test plus the cost charge.
      */
-    void zero(PhysAddr pa, VmSize len);
+    void
+    zero(PhysAddr pa, VmSize len)
+    {
+        if (len == (VmSize(1) << frameShift) &&
+            (pa & (len - 1)) == 0 && pa + len <= store.size()) {
+            FrameNum f = pa >> frameShift;
+            if (zeroBits[f >> 6] & (std::uint64_t(1) << (f & 63))) {
+                clock.charge(CostKind::MemZero,
+                             spec.costs.zeroCost(len));
+                return;
+            }
+        }
+        zeroSlow(pa, len);
+    }
 
     /**
      * Copy page-to-page within physical memory (pmap_copy_page),
@@ -57,9 +88,27 @@ class PhysMemory
     void copy(PhysAddr src, PhysAddr dst, VmSize len);
 
   private:
+    /** The general zero path: partial ranges and dirty frames. */
+    void zeroSlow(PhysAddr pa, VmSize len);
+
+    /** Forget "known zero" for every frame overlapping the span. */
+    void
+    markWritten(PhysAddr pa, VmSize len)
+    {
+        if (len == 0)
+            return;
+        FrameNum first = pa >> frameShift;
+        FrameNum last = (pa + len - 1) >> frameShift;
+        for (FrameNum f = first; f <= last; ++f)
+            zeroBits[f >> 6] &= ~(std::uint64_t(1) << (f & 63));
+    }
+
     const MachineSpec &spec;
     SimClock &clock;
     std::vector<std::uint8_t> store;
+    /** One bit per hardware frame: content currently all zero. */
+    std::vector<std::uint64_t> zeroBits;
+    unsigned frameShift;
 };
 
 } // namespace mach

@@ -1,50 +1,70 @@
 #include "hw/tlb.hh"
 
+#include <algorithm>
+
+#include "base/logging.hh"
+
 namespace mach
 {
 
 Tlb::Tlb(unsigned num_entries, unsigned page_shift, SimClock &clock,
          const CostModel &costs)
-    : entries(num_entries), shift(page_shift), clock(clock), costs(costs)
+    : entries(num_entries), links(num_entries, kNil),
+      buckets(std::bit_ceil(std::max<std::size_t>(2 * num_entries, 8)),
+              kNil),
+      bucketMask(buckets.size() - 1), shift(page_shift), clock(clock),
+      costs(costs)
 {
+    MACH_ASSERT(num_entries > 0);
 }
 
-TlbEntry *
-Tlb::lookup(const void *tag, VmOffset vpn)
+void
+Tlb::unlink(std::uint32_t idx, std::size_t bucket)
 {
-    for (TlbEntry &e : entries) {
-        if (e.valid && e.tag == tag && e.vpn == vpn) {
-            ++hitCount;
-            return &e;
-        }
+    std::uint32_t cur = buckets[bucket];
+    if (cur == idx) {
+        buckets[bucket] = links[idx];
+        return;
     }
-    ++missCount;
-    return nullptr;
+    while (cur != kNil) {
+        std::uint32_t next = links[cur];
+        if (next == idx) {
+            links[cur] = links[idx];
+            return;
+        }
+        cur = next;
+    }
+    panic("TLB index corrupt: entry %u missing from its bucket", idx);
+}
+
+void
+Tlb::rebuildIndex()
+{
+    std::fill(buckets.begin(), buckets.end(), kNil);
+    for (std::uint32_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].valid)
+            linkFront(i, bucketOf(entries[i].tag, entries[i].vpn));
+    }
 }
 
 TlbEntry *
 Tlb::insert(const void *tag, VmOffset vpn, const HwTranslation &tr)
 {
     // Replace an existing entry for the same page if present so a
-    // page never appears twice.
-    TlbEntry *slot = nullptr;
-    for (TlbEntry &e : entries) {
-        if (e.valid && e.tag == tag && e.vpn == vpn) {
-            slot = &e;
-            break;
+    // page never appears twice.  The dirty bit records that modified
+    // state was already propagated to the mapped frame — keep it
+    // only while the entry still points at that same frame.
+    for (std::uint32_t i = buckets[bucketOf(tag, vpn)]; i != kNil;
+         i = links[i]) {
+        TlbEntry &e = entries[i];
+        if (e.tag == tag && e.vpn == vpn) {
+            e.modified = e.modified && e.pageBase == tr.pageBase;
+            e.pageBase = tr.pageBase;
+            e.prot = tr.prot;
+            return &e;
         }
     }
-    if (!slot) {
-        slot = &entries[nextVictim];
-        nextVictim = (nextVictim + 1) % entries.size();
-    }
-    slot->valid = true;
-    slot->tag = tag;
-    slot->vpn = vpn;
-    slot->pageBase = tr.pageBase;
-    slot->prot = tr.prot;
-    slot->modified = false;
-    return slot;
+    return insertMissed(tag, vpn, tr);
 }
 
 void
@@ -52,6 +72,7 @@ Tlb::flushAll()
 {
     for (TlbEntry &e : entries)
         e.valid = false;
+    std::fill(buckets.begin(), buckets.end(), kNil);
     clock.charge(CostKind::TlbFlush, costs.tlbFlushAll);
     ++flushCount;
 }
@@ -63,6 +84,7 @@ Tlb::flushTag(const void *tag)
         if (e.valid && e.tag == tag)
             e.valid = false;
     }
+    rebuildIndex();
     clock.charge(CostKind::TlbFlush, costs.tlbFlushAll);
     ++flushCount;
 }
@@ -70,10 +92,17 @@ Tlb::flushTag(const void *tag)
 void
 Tlb::flushPage(const void *tag, VmOffset vpn)
 {
-    for (TlbEntry &e : entries) {
-        if (e.valid && e.tag == tag && e.vpn == vpn)
+    for (std::uint32_t i = buckets[bucketOf(tag, vpn)]; i != kNil;
+         i = links[i]) {
+        TlbEntry &e = entries[i];
+        if (e.tag == tag && e.vpn == vpn) {
             e.valid = false;
+            unlink(i, bucketOf(tag, vpn));
+            break;
+        }
     }
+    // The simulated machine charges the single-entry invalidate even
+    // when the page turns out not to be resident.
     clock.charge(CostKind::TlbFlush, costs.tlbFlushEntry);
     ++flushCount;
 }

@@ -8,11 +8,18 @@
  * simulated TLB therefore exposes only local flush operations; cross
  * CPU invalidation must go through Machine::ipi or deferred work,
  * exactly as the paper describes.
+ *
+ * Replacement is fully-associative round-robin FIFO — that ordering
+ * is part of the simulated machine model (the gated miss counts
+ * depend on it) — but the *search* structure is a chained hash index
+ * over the entry array, so lookup/insert/flushPage are O(1) on the
+ * host instead of scanning all entries.
  */
 
 #ifndef MACH_HW_TLB_HH
 #define MACH_HW_TLB_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -35,7 +42,10 @@ struct TlbEntry
     bool modified = false;      //!< dirty state already propagated
 };
 
-/** A fully-associative TLB with round-robin replacement. */
+/**
+ * A fully-associative TLB with round-robin replacement and a hash
+ * index for O(1) host-side search.
+ */
 class Tlb
 {
   public:
@@ -43,9 +53,50 @@ class Tlb
         const CostModel &costs);
 
     /** Find the entry mapping (@p tag, @p vpn), or nullptr. */
-    TlbEntry *lookup(const void *tag, VmOffset vpn);
+    TlbEntry *
+    lookup(const void *tag, VmOffset vpn)
+    {
+        for (std::uint32_t i = buckets[bucketOf(tag, vpn)]; i != kNil;
+             i = links[i]) {
+            TlbEntry &e = entries[i];
+            if (e.tag == tag && e.vpn == vpn) {
+                ++hitCount;
+                return &e;
+            }
+        }
+        ++missCount;
+        return nullptr;
+    }
 
-    /** Install a translation, evicting round-robin. */
+    /**
+     * Install a translation the caller has just proven absent (a
+     * failed lookup), evicting round-robin.  Skips the existence
+     * probe @ref insert performs; this is the translate-miss hot
+     * path.
+     */
+    TlbEntry *
+    insertMissed(const void *tag, VmOffset vpn, const HwTranslation &tr)
+    {
+        std::uint32_t victim = nextVictim;
+        nextVictim = (nextVictim + 1) % entries.size();
+        TlbEntry &e = entries[victim];
+        if (e.valid)
+            unlink(victim, bucketOf(e.tag, e.vpn));
+        e.valid = true;
+        e.tag = tag;
+        e.vpn = vpn;
+        e.pageBase = tr.pageBase;
+        e.prot = tr.prot;
+        e.modified = false;
+        linkFront(victim, bucketOf(tag, vpn));
+        return &e;
+    }
+
+    /**
+     * Install a translation, replacing an existing entry for the
+     * same (tag, vpn) if present so a page never appears twice,
+     * otherwise evicting round-robin.
+     */
     TlbEntry *insert(const void *tag, VmOffset vpn,
                      const HwTranslation &tr);
 
@@ -70,7 +121,34 @@ class Tlb
     VmOffset vpnOf(VmOffset va) const { return va >> shift; }
 
   private:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    std::size_t
+    bucketOf(const void *tag, VmOffset vpn) const
+    {
+        std::uint64_t h =
+            vpn ^ (reinterpret_cast<std::uintptr_t>(tag) >> 4);
+        h *= 0x9E3779B97F4A7C15ull;
+        return (h >> 32) & bucketMask;
+    }
+
+    void
+    linkFront(std::uint32_t idx, std::size_t bucket)
+    {
+        links[idx] = buckets[bucket];
+        buckets[bucket] = idx;
+    }
+
+    /** Remove @p idx from @p bucket's chain (it must be there). */
+    void unlink(std::uint32_t idx, std::size_t bucket);
+
+    /** Drop and re-add every valid entry (after bulk invalidation). */
+    void rebuildIndex();
+
     std::vector<TlbEntry> entries;
+    std::vector<std::uint32_t> links;    //!< per-entry chain link
+    std::vector<std::uint32_t> buckets;  //!< chain heads, pow2 sized
+    std::size_t bucketMask;
     unsigned shift;
     unsigned nextVictim = 0;
     SimClock &clock;

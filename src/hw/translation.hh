@@ -13,6 +13,7 @@
 #define MACH_HW_TRANSLATION_HH
 
 #include <optional>
+#include <type_traits>
 
 #include "base/types.hh"
 
@@ -61,12 +62,34 @@ accessWrites(AccessType t)
     return t == AccessType::Write || t == AccessType::Rmw;
 }
 
+class TranslationSource;
+
+/**
+ * Concrete dispatch table for the MMU refill path.
+ *
+ * The translate/fault hot loop calls hwLookup/hwMarkReferenced/
+ * hwMarkModified once per TLB miss; going through the vtable defeats
+ * inlining of the table walk.  Each final pmap type registers a
+ * per-type table (kHwOpsFor<T>) whose thunks cast to the concrete
+ * type, so the compiler devirtualizes and inlines the walk.  Sources
+ * that never register one fall back to kVirtualHwOps, which performs
+ * the plain virtual call.
+ */
+struct HwOps
+{
+    std::optional<HwTranslation> (*lookup)(TranslationSource *, VmOffset,
+                                           AccessType);
+    void (*markRef)(TranslationSource *, VmOffset);
+    void (*markMod)(TranslationSource *, VmOffset);
+};
+
 /**
  * Something the MMU can ask for translations: in practice, a Pmap.
  */
 class TranslationSource
 {
   public:
+    TranslationSource();
     virtual ~TranslationSource() = default;
 
     /**
@@ -94,6 +117,45 @@ class TranslationSource
      * value; others return `this` and take a full flush on switch.
      */
     virtual const void *tlbTag() const { return this; }
+
+    /** Dispatch table the MMU uses on the miss path. */
+    const HwOps *hwOps() const { return ops; }
+
+  protected:
+    /** Bind the concrete dispatch table (call from leaf ctors). */
+    void setHwOps(const HwOps *table) { ops = table; }
+
+  private:
+    const HwOps *ops;
+};
+
+/** Fallback table: plain virtual dispatch. */
+inline constexpr HwOps kVirtualHwOps = {
+    [](TranslationSource *s, VmOffset va, AccessType access) {
+        return s->hwLookup(va, access);
+    },
+    [](TranslationSource *s, VmOffset va) { s->hwMarkReferenced(va); },
+    [](TranslationSource *s, VmOffset va) { s->hwMarkModified(va); },
+};
+
+inline TranslationSource::TranslationSource() : ops(&kVirtualHwOps) {}
+
+/**
+ * Per-type dispatch table.  @p T must be a final class so the casts
+ * below let the compiler resolve the calls statically.
+ */
+template <typename T>
+inline constexpr HwOps kHwOpsFor = {
+    [](TranslationSource *s, VmOffset va, AccessType access) {
+        static_assert(std::is_final_v<T>);
+        return static_cast<T *>(s)->hwLookup(va, access);
+    },
+    [](TranslationSource *s, VmOffset va) {
+        static_cast<T *>(s)->hwMarkReferenced(va);
+    },
+    [](TranslationSource *s, VmOffset va) {
+        static_cast<T *>(s)->hwMarkModified(va);
+    },
 };
 
 } // namespace mach

@@ -53,7 +53,8 @@ DefaultPager::dataRequest(VmObject *object, VmOffset offset,
         return PagerResult::Unavailable;  // pager_data_unavailable
     // DMA the swap block straight into the physical page.
     PagerResult pr = swap.read(
-        block, machine.memory().data(page->physAddr), pageSize);
+        block, machine.memory().data(page->physAddr, pageSize),
+        pageSize);
     if (pr != PagerResult::Ok)
         return pr;
     ++pageins;

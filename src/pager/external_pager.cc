@@ -216,9 +216,11 @@ ExternalPager::applyRequest(Message &msg)
             kernel.machine.memory().write(pending->page->physAddr,
                                           msg.inlineData.data(), len);
             if (len < vm.pageSize()) {
-                std::memset(kernel.machine.memory().data(
-                                pending->page->physAddr) + len,
-                            0, vm.pageSize() - len);
+                std::memset(
+                    kernel.machine.memory().data(
+                        pending->page->physAddr + len,
+                        vm.pageSize() - len),
+                    0, vm.pageSize() - len);
             }
             pending->satisfied = true;
         }

@@ -19,7 +19,7 @@ VnodePager::dataRequest(VmObject *object, VmOffset offset, VmPage *page,
 {
     (void)desired_access;
     VmOffset file_off = object->pagerOffset + offset;
-    std::uint8_t *dst = machine.memory().data(page->physAddr);
+    std::uint8_t *dst = machine.memory().data(page->physAddr, pageSize);
     PagerResult status = PagerResult::Ok;
     VmSize got = fs.read(file, file_off, dst, pageSize, &status);
     if (status != PagerResult::Ok)

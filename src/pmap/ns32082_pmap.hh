@@ -33,12 +33,13 @@ namespace mach
 class Ns32082PmapSystem;
 
 /** An NS32082 physical map: a VAX-style map with hard limits. */
-class Ns32082Pmap : public LinearPmap
+class Ns32082Pmap final : public LinearPmap
 {
   public:
     Ns32082Pmap(LinearPmapSystem &lsys, bool kernel)
         : LinearPmap(lsys, kernel)
     {
+        setHwOps(&kHwOpsFor<Ns32082Pmap>);
     }
 
   protected:

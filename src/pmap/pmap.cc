@@ -4,6 +4,8 @@
 
 #include "sim/trace.hh"
 
+#include "pmap/pv_table.hh"
+
 #include "pmap/ns32082_pmap.hh"
 #include "pmap/rt_pmap.hh"
 #include "pmap/sun3_pmap.hh"
@@ -137,6 +139,7 @@ PmapSystem::init(VmSize mach_page_size)
               (unsigned long long)mach_page_size, (unsigned long long)hw);
     }
     machPage = mach_page_size;
+    framesPerPage = FrameNum(machPage >> machine.spec.hwPageShift);
     attrs.assign(machine.spec.physMemBytes / hw, PhysAttr{});
 
     auto kp = allocatePmap(true);
@@ -181,23 +184,11 @@ PmapSystem::destroy(Pmap *pmap)
     allPmaps.erase(it);
 }
 
-void
-PmapSystem::zeroPage(PhysAddr pa)
-{
-    machine.memory().zero(pa, machPage);
-}
-
-void
-PmapSystem::copyPage(PhysAddr src, PhysAddr dst)
-{
-    machine.memory().copy(src, dst, machPage);
-}
-
 bool
 PmapSystem::isModified(PhysAddr pa)
 {
     FrameNum first = frameOf(pa);
-    FrameNum count = machPage / hwPageSize();
+    FrameNum count = framesPerPage;
     for (FrameNum f = first; f < first + count; ++f) {
         if (attrs[f].modified)
             return true;
@@ -209,7 +200,7 @@ bool
 PmapSystem::isReferenced(PhysAddr pa)
 {
     FrameNum first = frameOf(pa);
-    FrameNum count = machPage / hwPageSize();
+    FrameNum count = framesPerPage;
     for (FrameNum f = first; f < first + count; ++f) {
         if (attrs[f].referenced)
             return true;
@@ -217,11 +208,27 @@ PmapSystem::isReferenced(PhysAddr pa)
     return false;
 }
 
+bool
+PmapSystem::pvQuiet(PhysAddr pa) const
+{
+    FrameNum first = pa >> machine.spec.hwPageShift;
+    for (FrameNum f = first; f < first + framesPerPage; ++f) {
+        if (!pvView->empty(f))
+            return false;
+    }
+    return true;
+}
+
 void
 PmapSystem::removeAll(PhysAddr pa, ShootdownMode mode)
 {
     SimClock &clock = machine.clock();
     if (!traceActive(clock)) {
+        // An empty PV chain means the Impl would be a pure no-op (no
+        // charges, no flushes); skip the dispatch.  Tracing callers
+        // still dispatch so the event stream is unchanged.
+        if (pvView && pvQuiet(pa))
+            return;
         removeAllImpl(pa, mode);
         return;
     }
@@ -237,6 +244,8 @@ PmapSystem::copyOnWrite(PhysAddr pa, ShootdownMode mode)
 {
     SimClock &clock = machine.clock();
     if (!traceActive(clock)) {
+        if (pvView && pvQuiet(pa))
+            return;
         copyOnWriteImpl(pa, mode);
         return;
     }
@@ -251,7 +260,7 @@ void
 PmapSystem::clearModify(PhysAddr pa, ShootdownMode mode)
 {
     FrameNum first = frameOf(pa);
-    FrameNum count = machPage / hwPageSize();
+    FrameNum count = framesPerPage;
     for (FrameNum f = first; f < first + count; ++f)
         attrs[f].modified = false;
     // Resynchronize: drop the page's mappings so the next write
@@ -263,21 +272,10 @@ void
 PmapSystem::clearReference(PhysAddr pa, ShootdownMode mode)
 {
     FrameNum first = frameOf(pa);
-    FrameNum count = machPage / hwPageSize();
+    FrameNum count = framesPerPage;
     for (FrameNum f = first; f < first + count; ++f)
         attrs[f].referenced = false;
     removeAll(pa, mode);
-}
-
-void
-PmapSystem::resetAttrs(PhysAddr pa)
-{
-    FrameNum first = frameOf(pa);
-    FrameNum count = machPage / hwPageSize();
-    for (FrameNum f = first; f < first + count; ++f) {
-        attrs[f].modified = false;
-        attrs[f].referenced = false;
-    }
 }
 
 void
@@ -335,17 +333,49 @@ mergeRanges(std::vector<PmapFlushRange> &ranges)
 }
 
 /**
- * Build the per-CPU flush function for a coalesced command list.
- * Small ranges flush entry-by-entry; any large range flushes the
- * whole tag, after which that tag's remaining ranges are moot.
+ * Per-CPU flush command for one contiguous range of one tag.  A
+ * concrete functor (not a lambda behind std::function) so
+ * dispatchFlush instantiates it directly and the Deferred path can
+ * move it into the machine's inline queue without allocating.
  */
-std::function<void(Cpu &)>
-makeBatchFlushFn(std::vector<TagFlush> cmds, VmSize hw, unsigned shift)
+struct RangeFlushCmd
 {
-    return [cmds = std::move(cmds), hw, shift](Cpu &c) {
+    const void *tag;
+    VmOffset start;
+    VmOffset end;
+    VmSize hw;
+    unsigned shift;
+    bool byPage;
+
+    void
+    operator()(Cpu &c) const
+    {
+        if (byPage) {
+            for (VmOffset va = truncTo(start, hw); va < end; va += hw)
+                c.tlb.flushPage(tag, va >> shift);
+        } else {
+            c.tlb.flushTag(tag);
+        }
+    }
+};
+
+/**
+ * Per-CPU flush command for a coalesced command list.  Small ranges
+ * flush entry-by-entry; any large range flushes the whole tag, after
+ * which that tag's remaining ranges are moot.
+ */
+struct BatchFlushCmd
+{
+    std::vector<TagFlush> cmds;
+    VmSize hw;
+    unsigned shift;
+
+    void
+    operator()(Cpu &c) const
+    {
         for (const auto &cmd : cmds) {
             for (const auto &r : cmd.ranges) {
-                if ((r.end - r.start) / hw <= kByPageFlushPages) {
+                if ((r.end - r.start) >> shift <= kByPageFlushPages) {
                     for (VmOffset va = truncTo(r.start, hw); va < r.end;
                          va += hw)
                         c.tlb.flushPage(cmd.tag, va >> shift);
@@ -355,8 +385,8 @@ makeBatchFlushFn(std::vector<TagFlush> cmds, VmSize hw, unsigned shift)
                 }
             }
         }
-    };
-}
+    }
+};
 
 } // namespace
 
@@ -390,22 +420,15 @@ PmapSystem::shootdownNow(Pmap &pmap, VmOffset start, VmOffset end,
         return;
     }
 
-    const void *tag = pmap.tlbTag();
-
     // Flushing page-by-page only pays for small ranges.
     VmSize hw = hwPageSize();
-    bool byPage = (end - start) / hw <= kByPageFlushPages;
+    bool byPage =
+        (end - start) >> machine.spec.hwPageShift <= kByPageFlushPages;
 
-    auto flushCpu = [this, tag, start, end, byPage, hw](Cpu &c) {
-        if (byPage) {
-            for (VmOffset va = truncTo(start, hw); va < end; va += hw)
-                c.tlb.flushPage(tag, va >> machine.spec.hwPageShift);
-        } else {
-            c.tlb.flushTag(tag);
-        }
-    };
-
-    dispatchFlush(flushTargets(pmap), flushCpu, mode, false);
+    dispatchFlush(flushTargets(pmap),
+                  RangeFlushCmd{pmap.tlbTag(), start, end, hw,
+                                machine.spec.hwPageShift, byPage},
+                  mode, false);
 }
 
 std::bitset<kMaxCpus>
@@ -423,10 +446,11 @@ PmapSystem::flushTargets(const Pmap &pmap) const
     return targets;
 }
 
+template <typename FlushFn>
 void
 PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
-                          const std::function<void(Cpu &)> &flushCpu,
-                          ShootdownMode mode, bool batched)
+                          FlushFn flushCpu, ShootdownMode mode,
+                          bool batched)
 {
     MACH_ASSERT(mode != ShootdownMode::Lazy);
 
@@ -435,12 +459,13 @@ PmapSystem::dispatchFlush(const std::bitset<kMaxCpus> &targets,
         // reuse the page until the next timer tick has been taken.
         ++deferredFlushes;
         Machine &m = machine;
-        m.deferUntilTick([&m, targets, flushCpu]() {
-            for (unsigned i = 0; i < m.numCpus(); ++i) {
-                if (targets.test(i))
-                    flushCpu(m.cpu(i));
-            }
-        });
+        m.deferUntilTick(
+            [&m, targets, flushCpu = std::move(flushCpu)]() {
+                for (unsigned i = 0; i < m.numCpus(); ++i) {
+                    if (targets.test(i))
+                        flushCpu(m.cpu(i));
+                }
+            });
         return;
     }
 
@@ -478,18 +503,29 @@ PmapSystem::noteShootdownRound(unsigned remote_targets, SimTime wait_ns)
         if (!reg)
             return;
         if (shootMetrics.reg != reg) {
-            // First round under this registry: resolve the ids once.
-            shootMetrics.rounds = reg->counter("tlb.shootdown_rounds");
-            shootMetrics.remoteTargets =
-                reg->counter("tlb.shootdown_remote_targets");
-            shootMetrics.waitNs =
-                reg->histogram("tlb.shootdown_wait_ns");
+            // First round under this registry: resolve the shard
+            // arrays once; emission then bypasses registry dispatch.
+            shootMetrics.rounds =
+                reg->counterSlots(reg->counter("tlb.shootdown_rounds"));
+            shootMetrics.remoteTargets = reg->counterSlots(
+                reg->counter("tlb.shootdown_remote_targets"));
+            shootMetrics.waitNs = reg->histogramShards(
+                reg->histogram("tlb.shootdown_wait_ns"));
+            shootMetrics.nShards = reg->numCpus();
             shootMetrics.reg = reg;
         }
         CpuId cpu = machine.clock().traceCpu();
-        reg->add(shootMetrics.rounds, 1, cpu);
-        reg->add(shootMetrics.remoteTargets, remote_targets, cpu);
-        reg->record(shootMetrics.waitNs, wait_ns, cpu);
+        unsigned s = cpu < shootMetrics.nShards ? cpu : 0;
+        // Single-threaded simulator: relaxed load+store, not a locked
+        // read-modify-write — this runs once per shootdown round.
+        auto &rounds = shootMetrics.rounds[s].v;
+        rounds.store(rounds.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+        auto &remotes = shootMetrics.remoteTargets[s].v;
+        remotes.store(remotes.load(std::memory_order_relaxed) +
+                          remote_targets,
+                      std::memory_order_relaxed);
+        shootMetrics.waitNs[s].record(wait_ns);
     } else {
         (void)remote_targets;
         (void)wait_ns;
@@ -543,8 +579,8 @@ PmapSystem::flushBatch()
     ++batchFlushes;
     chargePmap(SimTime(rangesOut) * machine.spec.costs.shootdownPerRange);
     dispatchFlush(targets,
-                  makeBatchFlushFn(std::move(cmds), hwPageSize(),
-                                   machine.spec.hwPageShift),
+                  BatchFlushCmd{std::move(cmds), hwPageSize(),
+                                machine.spec.hwPageShift},
                   mode, true);
 }
 
@@ -569,15 +605,9 @@ PmapSystem::drainBatched(Pmap &pmap)
     cmds.push_back({pmap.tlbTag(), std::move(ranges)});
     ++batchFlushes;
     dispatchFlush(flushTargets(pmap),
-                  makeBatchFlushFn(std::move(cmds), hwPageSize(),
-                                   machine.spec.hwPageShift),
+                  BatchFlushCmd{std::move(cmds), hwPageSize(),
+                                machine.spec.hwPageShift},
                   batchMode, true);
-}
-
-void
-PmapSystem::chargePmap(SimTime ns)
-{
-    machine.clock().charge(CostKind::PmapOp, ns);
 }
 
 } // namespace mach

@@ -27,7 +27,6 @@
 
 #include <bitset>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -43,6 +42,7 @@ namespace mach
 {
 
 class PmapSystem;
+class PvTable;
 
 /** Maximum CPUs a pmap tracks. */
 constexpr unsigned kMaxCpus = 32;
@@ -278,10 +278,13 @@ class PmapSystem
     void copyOnWrite(PhysAddr pa) { copyOnWrite(pa, policy.protect); }
 
     /** pmap_zero_page. */
-    void zeroPage(PhysAddr pa);
+    void zeroPage(PhysAddr pa) { machine.memory().zero(pa, machPage); }
 
     /** pmap_copy_page. */
-    void copyPage(PhysAddr src, PhysAddr dst);
+    void copyPage(PhysAddr src, PhysAddr dst)
+    {
+        machine.memory().copy(src, dst, machPage);
+    }
     /** @} */
 
     /** @name Modify/reference bit maintenance @{ */
@@ -304,7 +307,13 @@ class PmapSystem
      * Reset both attributes without touching mappings.  Only valid
      * when the page has no mappings left (frame being freed).
      */
-    void resetAttrs(PhysAddr pa);
+    void
+    resetAttrs(PhysAddr pa)
+    {
+        FrameNum first = frameOf(pa);
+        for (FrameNum f = first; f < first + framesPerPage; ++f)
+            attrs[f] = PhysAttr{};
+    }
     /** @} */
 
     Machine &getMachine() { return machine; }
@@ -374,7 +383,10 @@ class PmapSystem
                         ShootdownMode mode);
 
     /** Charge a machine-dependent operation cost. */
-    void chargePmap(SimTime ns);
+    void chargePmap(SimTime ns)
+    {
+        machine.clock().charge(CostKind::PmapOp, ns);
+    }
 
   protected:
     /** Subclasses allocate their concrete pmap type. */
@@ -401,6 +413,19 @@ class PmapSystem
     Machine &machine;
     Pmap *kernel = nullptr;
     VmSize machPage = 0;
+    /** machPage / hwPageSize, cached so hot paths avoid the divide. */
+    FrameNum framesPerPage = 0;
+
+    /**
+     * The module's physical-to-virtual table, when it keeps one.
+     * Lets the machine-independent shells skip the virtual dispatch
+     * into removeAllImpl / copyOnWriteImpl when a page provably has
+     * no mappings (common on the object-teardown path, where the map
+     * deallocation already emptied every chain).  Modules without a
+     * PV table (RT PC's inverted table) leave it null and always
+     * dispatch.
+     */
+    const PvTable *pvView = nullptr;
 
     /** Per-hardware-frame modify/reference attributes. */
     struct PhysAttr
@@ -422,17 +447,23 @@ class PmapSystem
     void shootdownNow(Pmap &pmap, VmOffset start, VmOffset end,
                       ShootdownMode mode);
 
+    /** True when pvView shows no mappings for the page at @p pa. */
+    bool pvQuiet(PhysAddr pa) const;
+
     /**
      * Shootdown contention metrics, registered lazily against
      * whatever registry the clock carries so the pmap layer needs no
-     * boot-order coupling with VmSys.
+     * boot-order coupling with VmSys.  The raw shard arrays are
+     * cached (not just the ids) so the per-round emission is two
+     * relaxed adds and a histogram record with no registry dispatch.
      */
     struct ShootdownMetrics
     {
-        MetricsRegistry *reg = nullptr; //!< registry the ids belong to
-        MetricId rounds;        //!< immediate dispatch rounds
-        MetricId remoteTargets; //!< remote CPUs interrupted
-        MetricId waitNs;        //!< histogram: wait per round (ns)
+        MetricsRegistry *reg = nullptr; //!< registry the shards belong to
+        MetricsRegistry::Slot *rounds = nullptr;
+        MetricsRegistry::Slot *remoteTargets = nullptr;
+        LatencyHistogram *waitNs = nullptr;
+        unsigned nShards = 1; //!< registry CPU count (clamp bound)
     };
     ShootdownMetrics shootMetrics;
 
@@ -454,11 +485,15 @@ class PmapSystem
     /**
      * Run @p flushCpu on every CPU in @p targets per @p mode:
      * immediately (local call or one IPI per remote CPU) or queued
-     * to the next timer tick.  @p mode must not be Lazy.
+     * to the next timer tick.  @p mode must not be Lazy.  Templated
+     * on the concrete flush command so no std::function (and no
+     * allocation) sits on the shootdown path; the Deferred case
+     * moves the command into the machine's inline deferred queue.
      */
+    template <typename FlushFn>
     void dispatchFlush(const std::bitset<kMaxCpus> &targets,
-                       const std::function<void(Cpu &)> &flushCpu,
-                       ShootdownMode mode, bool batched);
+                       FlushFn flushCpu, ShootdownMode mode,
+                       bool batched);
 
     unsigned batchDepth = 0;
     /** Strictest mode seen inside the open batch. */

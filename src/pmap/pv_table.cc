@@ -8,57 +8,20 @@ namespace mach
 {
 
 void
-PvTable::add(FrameNum frame, Pmap *pmap, VmOffset va)
+PvTable::grow(FrameNum frame)
 {
-    auto &vec = table[frame];
-    for (const PvEntry &e : vec) {
-        if (e.pmap == pmap && e.va == va)
-            return;  // already recorded
-    }
-    if (vec.empty())
-        vec.reserve(4);  // most frames have few sharers
-    vec.push_back({pmap, va});
-}
-
-void
-PvTable::remove(FrameNum frame, Pmap *pmap, VmOffset va)
-{
-    auto it = table.find(frame);
-    if (it == table.end())
-        return;
-    auto &vec = it->second;
-    vec.erase(std::remove_if(vec.begin(), vec.end(),
-                             [&](const PvEntry &e) {
-                                 return e.pmap == pmap && e.va == va;
-                             }),
-              vec.end());
-    if (vec.empty())
-        table.erase(it);
+    heads.resize(std::max<std::size_t>(
+                     std::bit_ceil(std::size_t(frame) + 1), 64),
+                 nullptr);
 }
 
 std::vector<PvEntry>
 PvTable::mappings(FrameNum frame) const
 {
-    auto it = table.find(frame);
-    if (it == table.end())
-        return {};
-    return it->second;
-}
-
-bool
-PvTable::empty(FrameNum frame) const
-{
-    auto it = table.find(frame);
-    return it == table.end() || it->second.empty();
-}
-
-std::size_t
-PvTable::totalMappings() const
-{
-    std::size_t n = 0;
-    for (const auto &[frame, vec] : table)
-        n += vec.size();
-    return n;
+    std::vector<PvEntry> out;
+    for (const PvNode *n = headOf(frame); n; n = n->next)
+        out.push_back(n->entry);
+    return out;
 }
 
 } // namespace mach

@@ -8,15 +8,23 @@
  * forward tables (VAX, SUN 3, NS32082, software TLB) keep this
  * reverse index; the RT PC's inverted page table *is* its reverse
  * index and does not need one.
+ *
+ * The index is a per-frame singly-linked chain of zone-allocated
+ * nodes under a flat head array: entering or removing a mapping on
+ * the fault path is a freelist pop/push and a pointer splice, with no
+ * heap traffic and no hashing.  Chains keep insertion order (new
+ * entries append at the tail), matching the historical iteration
+ * order the trace streams were baselined against.
  */
 
 #ifndef MACH_PMAP_PV_TABLE_HH
 #define MACH_PMAP_PV_TABLE_HH
 
-#include <unordered_map>
+#include <bit>
 #include <vector>
 
 #include "base/types.hh"
+#include "base/zone.hh"
 
 namespace mach
 {
@@ -34,42 +42,110 @@ struct PvEntry
 class PvTable
 {
   public:
+    PvTable() : nodeZone(sizeof(PvNode), 512) {}
+
     /** Record that (@p pmap, @p va) maps hardware frame @p frame. */
-    void add(FrameNum frame, Pmap *pmap, VmOffset va);
+    void
+    add(FrameNum frame, Pmap *pmap, VmOffset va)
+    {
+        if (frame >= heads.size())
+            grow(frame);
+        // Walk to the tail, deduplicating on the way: chains append
+        // in insertion order so physical-op walks see mappings
+        // oldest-first, as the vector-backed table did.
+        PvNode **link = &heads[frame];
+        while (*link) {
+            if ((*link)->entry.pmap == pmap && (*link)->entry.va == va)
+                return;  // already recorded
+            link = &(*link)->next;
+        }
+        auto *n = static_cast<PvNode *>(nodeZone.alloc());
+        n->entry = {pmap, va};
+        n->next = nullptr;
+        *link = n;
+        ++count;
+    }
 
     /** Remove one mapping record; no-op if absent. */
-    void remove(FrameNum frame, Pmap *pmap, VmOffset va);
+    void
+    remove(FrameNum frame, Pmap *pmap, VmOffset va)
+    {
+        if (frame >= heads.size())
+            return;
+        // add() deduplicates, so at most one node matches.
+        for (PvNode **link = &heads[frame]; *link;
+             link = &(*link)->next) {
+            PvNode *n = *link;
+            if (n->entry.pmap == pmap && n->entry.va == va) {
+                *link = n->next;
+                nodeZone.free(n);
+                --count;
+                return;
+            }
+        }
+    }
 
     /**
      * Snapshot the mappings of @p frame.  Returned by value so the
-     * caller can remove entries while iterating.
+     * caller can remove entries while iterating; prefer first() for
+     * process-and-remove loops, which needs no copy.
      */
     std::vector<PvEntry> mappings(FrameNum frame) const;
 
     /**
+     * The first recorded mapping of @p frame, or nullptr.  Drives
+     * allocation-free drain loops: process the head, remove it, and
+     * ask again —
+     *     while (const PvEntry *e = pv.first(frame)) { ... }
+     * The pointer is invalidated by any add/remove on the table.
+     */
+    const PvEntry *
+    first(FrameNum frame) const
+    {
+        const PvNode *n = headOf(frame);
+        return n ? &n->entry : nullptr;
+    }
+
+    /**
      * Visit each mapping of @p frame without copying the chain.
      * Only for read-only walkers: @p fn must not add or remove
-     * entries for @p frame (use mappings() for mutating loops).
+     * entries for @p frame (use first()/mappings() for mutating
+     * loops).
      */
     template <typename Fn>
     void
     forEach(FrameNum frame, Fn &&fn) const
     {
-        auto it = table.find(frame);
-        if (it == table.end())
-            return;
-        for (const PvEntry &e : it->second)
-            fn(e);
+        for (const PvNode *n = headOf(frame); n; n = n->next)
+            fn(n->entry);
     }
 
     /** True if @p frame has no recorded mappings. */
-    bool empty(FrameNum frame) const;
+    bool empty(FrameNum frame) const { return headOf(frame) == nullptr; }
 
     /** Total recorded mappings (for leak checks in tests). */
-    std::size_t totalMappings() const;
+    std::size_t totalMappings() const { return count; }
 
   private:
-    std::unordered_map<FrameNum, std::vector<PvEntry>> table;
+    struct PvNode
+    {
+        PvEntry entry;
+        PvNode *next = nullptr;
+    };
+
+    PvNode *
+    headOf(FrameNum frame) const
+    {
+        return frame < heads.size() ? heads[frame] : nullptr;
+    }
+
+    /** Out-of-line resize keeps add()'s inline body small. */
+    void grow(FrameNum frame);
+
+    Zone nodeZone;
+    /** frame -> chain head; grown lazily to the highest frame seen. */
+    std::vector<PvNode *> heads;
+    std::size_t count = 0;
 };
 
 } // namespace mach

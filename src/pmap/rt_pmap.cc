@@ -6,6 +6,7 @@ namespace mach
 RtPmap::RtPmap(RtPmapSystem &rsys, bool kernel)
     : Pmap(rsys, kernel), rsys(rsys)
 {
+    setHwOps(&kHwOpsFor<RtPmap>);
 }
 
 void

@@ -33,7 +33,7 @@ namespace mach
 class RtPmapSystem;
 
 /** An RT PC physical map (a segment identity; the table is global). */
-class RtPmap : public Pmap
+class RtPmap final : public Pmap
 {
   public:
     RtPmap(RtPmapSystem &rsys, bool kernel);

@@ -8,6 +8,7 @@ namespace mach
 Sun3Pmap::Sun3Pmap(Sun3PmapSystem &ssys, bool kernel)
     : Pmap(ssys, kernel), ssys(ssys)
 {
+    setHwOps(&kHwOpsFor<Sun3Pmap>);
     if (kernel)
         ctx = -2;  // kernel mappings appear in every context
 }
@@ -185,6 +186,7 @@ Sun3Pmap::hwLookup(VmOffset va, AccessType access)
 Sun3PmapSystem::Sun3PmapSystem(Machine &machine, unsigned pmeg_count)
     : PmapSystem(machine), pmegs(pmeg_count)
 {
+    pvView = &pv;
     freeList.reserve(pmeg_count);
     for (unsigned i = 0; i < pmeg_count; ++i)
         freeList.push_back(pmeg_count - 1 - i);
@@ -336,16 +338,19 @@ Sun3PmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
     PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
-        // mappings() snapshots: the loop edits the PV chain.
-        for (const PvEntry &e : pv.mappings(frame)) {
-            auto *sp = static_cast<Sun3Pmap *>(e.pmap);
-            auto it = sp->segmap.find(segBaseOf(e.va));
+        // Drain the chain head-first: each remove() frees the head
+        // node, so the next round sees the next mapping — same order
+        // the old snapshot walk processed, without the copy.
+        while (const PvEntry *e = pv.first(frame)) {
+            auto *sp = static_cast<Sun3Pmap *>(e->pmap);
+            VmOffset va = e->va;
+            auto it = sp->segmap.find(segBaseOf(va));
             MACH_ASSERT(it != sp->segmap.end());
             Pmeg &pmeg = pmegs[it->second];
-            unsigned slot = (e.va - pmeg.segBase) >> spec.hwPageShift;
+            unsigned slot = (va - pmeg.segBase) >> spec.hwPageShift;
             Pte &pte = pmeg.ptes[slot];
             MACH_ASSERT(pte.valid);
-            pv.remove(frame, sp, e.va);
+            pv.remove(frame, sp, va);
             pte.valid = false;
             if (pte.wired) {
                 pte.wired = false;
@@ -354,7 +359,7 @@ Sun3PmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
             --pmeg.validCount;
             --sp->nMappings;
             chargePmap(spec.costs.pmapRemovePerPage);
-            shootdownRange(*sp, e.va, e.va + hw, mode);
+            shootdownRange(*sp, va, va + hw, mode);
         }
     }
 }

@@ -38,7 +38,7 @@ namespace mach
 class Sun3PmapSystem;
 
 /** A SUN 3 physical map: a software segment map plus a context. */
-class Sun3Pmap : public Pmap
+class Sun3Pmap final : public Pmap
 {
   public:
     Sun3Pmap(Sun3PmapSystem &ssys, bool kernel);

@@ -6,6 +6,7 @@ namespace mach
 TlbSoftPmap::TlbSoftPmap(TlbSoftPmapSystem &tsys, bool kernel)
     : Pmap(tsys, kernel), tsys(tsys)
 {
+    setHwOps(&kHwOpsFor<TlbSoftPmap>);
 }
 
 void
@@ -146,16 +147,19 @@ TlbSoftPmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
     PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
-        // mappings() snapshots: the loop edits the PV chain.
-        for (const PvEntry &e : pv.mappings(frame)) {
-            auto *tp = static_cast<TlbSoftPmap *>(e.pmap);
-            auto it = tp->dict.find(e.va >> spec.hwPageShift);
+        // Drain the chain head-first: each remove() frees the head
+        // node, so the next round sees the next mapping — same order
+        // the old snapshot walk processed, without the copy.
+        while (const PvEntry *e = pv.first(frame)) {
+            auto *tp = static_cast<TlbSoftPmap *>(e->pmap);
+            VmOffset va = e->va;
+            auto it = tp->dict.find(va >> spec.hwPageShift);
             MACH_ASSERT(it != tp->dict.end());
-            pv.remove(frame, tp, e.va);
+            pv.remove(frame, tp, va);
             tp->dict.erase(it);
             --tp->nMappings;
             chargePmap(spec.costs.pmapRemovePerPage);
-            shootdownRange(*tp, e.va, e.va + hw, mode);
+            shootdownRange(*tp, va, va + hw, mode);
         }
     }
 }

@@ -28,7 +28,7 @@ namespace mach
 class TlbSoftPmapSystem;
 
 /** A software-refill pmap: a dictionary of live translations. */
-class TlbSoftPmap : public Pmap
+class TlbSoftPmap final : public Pmap
 {
   public:
     TlbSoftPmap(TlbSoftPmapSystem &tsys, bool kernel);
@@ -66,6 +66,7 @@ class TlbSoftPmapSystem : public PmapSystem
   public:
     explicit TlbSoftPmapSystem(Machine &machine) : PmapSystem(machine)
     {
+        pvView = &pv;
     }
 
     void removeAllImpl(PhysAddr pa, ShootdownMode mode) override;

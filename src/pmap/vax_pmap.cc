@@ -10,31 +10,41 @@ LinearPmap::LinearPmap(LinearPmapSystem &lsys, bool kernel)
 {
 }
 
-LinearPmap::Pte *
+LinearPmap::PteRef
 LinearPmap::lookupPte(VmOffset va)
 {
     VmOffset vpn = va >> lsys.getMachine().spec.hwPageShift;
-    VmOffset index = vpn / lsys.ptesPerTablePage();
-    auto it = tables.find(index);
-    if (it == tables.end())
-        return nullptr;
-    return &it->second->ptes[vpn % lsys.ptesPerTablePage()];
+    VmOffset index = vpn >> lsys.pteIndexShift();
+    if (index != cachedIndex) {
+        auto it = tables.find(index);
+        if (it == tables.end())
+            return {};
+        cachedIndex = index;
+        cachedPage = it->second.get();
+    }
+    return {&cachedPage->ptes[vpn & (lsys.ptesPerTablePage() - 1)],
+            cachedPage};
 }
 
-LinearPmap::Pte *
+LinearPmap::PteRef
 LinearPmap::forcePte(VmOffset va)
 {
     VmOffset vpn = va >> lsys.getMachine().spec.hwPageShift;
-    VmOffset index = vpn / lsys.ptesPerTablePage();
-    auto it = tables.find(index);
-    if (it == tables.end()) {
-        auto pt = std::make_unique<PtPage>();
-        pt->ptes.resize(lsys.ptesPerTablePage());
-        it = tables.emplace(index, std::move(pt)).first;
-        lsys.chargePmap(lsys.getMachine().spec.costs.ptePageAlloc);
-        ++lsys.tablePagesBuilt;
+    VmOffset index = vpn >> lsys.pteIndexShift();
+    if (index != cachedIndex) {
+        auto it = tables.find(index);
+        if (it == tables.end()) {
+            auto pt = std::make_unique<PtPage>();
+            pt->ptes.resize(lsys.ptesPerTablePage());
+            it = tables.emplace(index, std::move(pt)).first;
+            lsys.chargePmap(lsys.getMachine().spec.costs.ptePageAlloc);
+            ++lsys.tablePagesBuilt;
+        }
+        cachedIndex = index;
+        cachedPage = it->second.get();
     }
-    return &it->second->ptes[vpn % lsys.ptesPerTablePage()];
+    return {&cachedPage->ptes[vpn & (lsys.ptesPerTablePage() - 1)],
+            cachedPage};
 }
 
 void
@@ -58,27 +68,29 @@ LinearPmap::enterImpl(VmOffset va, PhysAddr pa, VmProt prot, bool wired)
     const MachineSpec &spec = lsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
     VmSize machPage = lsys.machPageSize();
-    MACH_ASSERT(va % machPage == 0 && pa % machPage == 0);
+    MACH_ASSERT((va & (machPage - 1)) == 0 &&
+                (pa & (machPage - 1)) == 0);
 
     // One machine-independent page expands to machPage/hw PTEs.
+    unsigned entered = 0;
     for (VmSize off = 0; off < machPage; off += hw) {
-        Pte *pte = forcePte(va + off);
-        VmOffset vpn = (va + off) >> spec.hwPageShift;
-        VmOffset index = vpn / lsys.ptesPerTablePage();
-        PtPage &pt = *tables[index];
-        if (pte->valid)
-            invalidatePte(va + off, pt, *pte);
-        pte->valid = true;
-        pte->pageBase = pa + off;
-        pte->prot = prot;
-        pte->wired = wired;
+        PteRef ref = forcePte(va + off);
+        if (ref.pte->valid)
+            invalidatePte(va + off, *ref.page, *ref.pte);
+        ref.pte->valid = true;
+        ref.pte->pageBase = pa + off;
+        ref.pte->prot = prot;
+        ref.pte->wired = wired;
         if (wired)
-            ++pt.wiredCount;
-        ++pt.validCount;
+            ++ref.page->wiredCount;
+        ++ref.page->validCount;
         ++nMappings;
+        ++entered;
         lsys.pv().add((pa + off) >> spec.hwPageShift, this, va + off);
-        lsys.chargePmap(spec.costs.pmapEnter);
     }
+    // One batched charge: per-PTE cost, identical total to charging
+    // inside the loop (nothing in the loop observes the clock).
+    lsys.chargePmap(SimTime(entered) * spec.costs.pmapEnter);
     // The entered translation may shadow a stale TLB entry.
     shootdown(va, va + machPage, ShootdownMode::Immediate);
 }
@@ -99,19 +111,25 @@ LinearPmap::removeImpl(VmOffset start, VmOffset end)
         if (base >= end)
             break;
         PtPage &pt = *it->second;
-        for (unsigned i = 0; i < lsys.ptesPerTablePage(); ++i) {
-            VmOffset va = base + VmOffset(i) * hw;
-            if (va < start || va >= end)
-                continue;
+        // Clip [start, end) against this table's span once, instead
+        // of range-testing every PTE.
+        VmOffset top = base + VmOffset(lsys.ptesPerTablePage()) * hw;
+        if (top > end)
+            top = end;
+        unsigned i = base < start
+            ? unsigned((start - base) >> spec.hwPageShift) : 0;
+        unsigned iEnd = unsigned((top - base) >> spec.hwPageShift);
+        for (; i < iEnd; ++i) {
             Pte &pte = pt.ptes[i];
             if (pte.valid) {
-                invalidatePte(va, pt, pte);
+                invalidatePte(base + VmOffset(i) * hw, pt, pte);
                 ++removed;
             }
         }
         if (pt.validCount == 0) {
             it = tables.erase(it);
             ++lsys.tablePagesFreed;
+            invalidateTableCache();
         } else {
             ++it;
         }
@@ -134,9 +152,9 @@ LinearPmap::protectImpl(VmOffset start, VmOffset end, VmProt prot)
     VmSize hw = spec.hwPageSize();
     unsigned changed = 0;
     for (VmOffset va = truncTo(start, hw); va < end; va += hw) {
-        Pte *pte = lookupPte(va);
-        if (pte && pte->valid) {
-            pte->prot &= prot;  // restrict only
+        PteRef ref = lookupPte(va);
+        if (ref && ref.pte->valid) {
+            ref.pte->prot &= prot;  // restrict only
             ++changed;
         }
     }
@@ -150,20 +168,21 @@ std::optional<PhysAddr>
 LinearPmap::extract(VmOffset va)
 {
     const MachineSpec &spec = lsys.getMachine().spec;
-    Pte *pte = lookupPte(va);
-    if (!pte || !pte->valid)
+    PteRef ref = lookupPte(va);
+    if (!ref || !ref.pte->valid)
         return std::nullopt;
-    return pte->pageBase + (va & (spec.hwPageSize() - 1));
+    return ref.pte->pageBase + (va & (spec.hwPageSize() - 1));
 }
 
 std::optional<HwTranslation>
 LinearPmap::hwLookup(VmOffset va, AccessType access)
 {
     (void)access;  // a linear table serves any requester
-    Pte *pte = lookupPte(va);
-    if (!pte || !pte->valid)
+    PteRef ref = lookupPte(va);
+    if (!ref || !ref.pte->valid)
         return std::nullopt;
-    return HwTranslation{pte->pageBase, pte->prot, pte->wired};
+    return HwTranslation{ref.pte->pageBase, ref.pte->prot,
+                         ref.pte->wired};
 }
 
 void
@@ -175,25 +194,26 @@ LinearPmap::copyFrom(Pmap &src, VmOffset dst_addr, VmSize len,
         return;
     const MachineSpec &spec = lsys.getMachine().spec;
     VmSize hw = spec.hwPageSize();
+    unsigned copied = 0;
     for (VmSize off = 0; off < len; off += hw) {
-        Pte *pte = sp->lookupPte(src_addr + off);
-        if (!pte || !pte->valid || pte->wired)
+        PteRef theirs = sp->lookupPte(src_addr + off);
+        if (!theirs || !theirs.pte->valid || theirs.pte->wired)
             continue;
-        Pte *mine = forcePte(dst_addr + off);
-        if (mine->valid)
+        PteRef mine = forcePte(dst_addr + off);
+        if (mine.pte->valid)
             continue;  // never overwrite an existing mapping
-        mine->valid = true;
-        mine->pageBase = pte->pageBase;
+        mine.pte->valid = true;
+        mine.pte->pageBase = theirs.pte->pageBase;
         // Read-only: a write must still take the COW fault.
-        mine->prot = pte->prot & ~VmProt::Write;
-        mine->wired = false;
-        VmOffset vpn = (dst_addr + off) >> spec.hwPageShift;
-        ++tables[vpn / lsys.ptesPerTablePage()]->validCount;
+        mine.pte->prot = theirs.pte->prot & ~VmProt::Write;
+        mine.pte->wired = false;
+        ++mine.page->validCount;
         ++nMappings;
-        lsys.pv().add(pte->pageBase >> spec.hwPageShift, this,
+        ++copied;
+        lsys.pv().add(theirs.pte->pageBase >> spec.hwPageShift, this,
                       dst_addr + off);
-        lsys.chargePmap(spec.costs.pmapEnter / 2);
     }
+    lsys.chargePmap(SimTime(copied) * (spec.costs.pmapEnter / 2));
 }
 
 void
@@ -203,6 +223,7 @@ LinearPmap::trimEmptyTables()
         if (it->second->validCount == 0) {
             it = tables.erase(it);
             ++lsys.tablePagesFreed;
+            invalidateTableCache();
         } else {
             ++it;
         }
@@ -238,6 +259,7 @@ LinearPmap::garbageCollect()
                             base + lsys.ptesPerTablePage() * hw);
         it = tables.erase(it);
         ++lsys.tablePagesFreed;
+        invalidateTableCache();
     }
     if (flush_hi > flush_lo)
         shootdown(flush_lo, flush_hi, ShootdownMode::Immediate);
@@ -246,12 +268,13 @@ LinearPmap::garbageCollect()
 LinearPmapSystem::LinearPmapSystem(Machine &machine)
     : PmapSystem(machine)
 {
+    pvView = &pvTable;
 }
 
 std::unique_ptr<Pmap>
 LinearPmapSystem::allocatePmap(bool kernel)
 {
-    return std::make_unique<LinearPmap>(*this, kernel);
+    return std::make_unique<VaxPmap>(*this, kernel);
 }
 
 void
@@ -264,16 +287,17 @@ LinearPmapSystem::removeAllImpl(PhysAddr pa, ShootdownMode mode)
     PmapBatch batch(*this);
     for (VmSize off = 0; off < machPageSize(); off += hw) {
         FrameNum frame = (pa + off) >> spec.hwPageShift;
-        // mappings() snapshots: invalidatePte edits the PV chain.
-        for (const PvEntry &e : pvTable.mappings(frame)) {
-            auto *lp = static_cast<LinearPmap *>(e.pmap);
-            LinearPmap::Pte *pte = lp->lookupPte(e.va);
-            MACH_ASSERT(pte && pte->valid);
-            VmOffset vpn = e.va >> spec.hwPageShift;
-            VmOffset index = vpn / ptesPerPage;
-            lp->invalidatePte(e.va, *lp->tables[index], *pte);
+        // Drain the chain head-first: invalidatePte removes the head
+        // entry, so each round of the loop sees the next mapping —
+        // the same order the snapshot walk processed, sans the copy.
+        while (const PvEntry *e = pvTable.first(frame)) {
+            auto *lp = static_cast<LinearPmap *>(e->pmap);
+            VmOffset va = e->va;
+            LinearPmap::PteRef ref = lp->lookupPte(va);
+            MACH_ASSERT(ref && ref.pte->valid);
+            lp->invalidatePte(va, *ref.page, *ref.pte);
             chargePmap(spec.costs.pmapRemovePerPage);
-            shootdownRange(*lp, e.va, e.va + hw, mode);
+            shootdownRange(*lp, va, va + hw, mode);
         }
     }
 }
@@ -288,9 +312,9 @@ LinearPmapSystem::copyOnWriteImpl(PhysAddr pa, ShootdownMode mode)
         FrameNum frame = (pa + off) >> spec.hwPageShift;
         pvTable.forEach(frame, [&](const PvEntry &e) {
             auto *lp = static_cast<LinearPmap *>(e.pmap);
-            LinearPmap::Pte *pte = lp->lookupPte(e.va);
-            MACH_ASSERT(pte && pte->valid);
-            pte->prot &= ~VmProt::Write;
+            LinearPmap::PteRef ref = lp->lookupPte(e.va);
+            MACH_ASSERT(ref && ref.pte->valid);
+            ref.pte->prot &= ~VmProt::Write;
             chargePmap(spec.costs.pmapProtectPerPage);
             shootdownRange(*lp, e.va, e.va + hw, mode);
         });

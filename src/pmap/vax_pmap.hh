@@ -18,6 +18,7 @@
 #ifndef MACH_PMAP_VAX_PMAP_HH
 #define MACH_PMAP_VAX_PMAP_HH
 
+#include <bit>
 #include <map>
 #include <memory>
 
@@ -79,11 +80,23 @@ class LinearPmap : public Pmap
         unsigned wiredCount = 0;
     };
 
-    /** Find the PTE for @p va, or nullptr if its table is absent. */
-    Pte *lookupPte(VmOffset va);
+    /**
+     * A PTE together with its containing table page, so callers that
+     * need both (enterImpl must bump the page's counts) perform one
+     * map lookup, not two.
+     */
+    struct PteRef
+    {
+        Pte *pte = nullptr;
+        PtPage *page = nullptr;
+        explicit operator bool() const { return pte != nullptr; }
+    };
+
+    /** Find the PTE for @p va; null ref if its table is absent. */
+    PteRef lookupPte(VmOffset va);
 
     /** Find-or-create the PTE for @p va (builds the table page). */
-    Pte *forcePte(VmOffset va);
+    PteRef forcePte(VmOffset va);
 
     /** Remove one hw mapping (PTE + pv entry); table GC separate. */
     void invalidatePte(VmOffset va, PtPage &pt, Pte &pte);
@@ -91,9 +104,23 @@ class LinearPmap : public Pmap
     /** Drop table pages with no valid PTEs. */
     void trimEmptyTables();
 
+    /** Forget the cached table page (call after any tables.erase). */
+    void
+    invalidateTableCache()
+    {
+        cachedIndex = ~VmOffset(0);
+        cachedPage = nullptr;
+    }
+
     LinearPmapSystem &lsys;
     /** table-page index -> table page, sorted for ranged walks. */
     std::map<VmOffset, std::unique_ptr<PtPage>> tables;
+    /**
+     * Last table page touched: sequential fault/enter streams hit the
+     * same 128-PTE page repeatedly, skipping the std::map descent.
+     */
+    VmOffset cachedIndex = ~VmOffset(0);
+    PtPage *cachedPage = nullptr;
 };
 
 /** Shared system half for linear-page-table architectures. */
@@ -108,6 +135,14 @@ class LinearPmapSystem : public PmapSystem
     /** PTEs that fit in one page-table page. */
     unsigned ptesPerTablePage() const { return ptesPerPage; }
 
+    /** log2 of ptesPerTablePage (always a power of two). */
+    unsigned
+    pteIndexShift() const
+    {
+        MACH_ASSERT(std::has_single_bit(ptesPerPage));
+        return unsigned(std::countr_zero(ptesPerPage));
+    }
+
     PvTable &pv() { return pvTable; }
 
   protected:
@@ -117,6 +152,20 @@ class LinearPmapSystem : public PmapSystem
     unsigned ptesPerPage = 128;
 
     PvTable pvTable;
+};
+
+/**
+ * The VAX pmap proper: the linear-table machinery unchanged, made a
+ * leaf so the MMU's per-type dispatch table (kHwOpsFor) resolves the
+ * miss-path calls statically.
+ */
+class VaxPmap final : public LinearPmap
+{
+  public:
+    VaxPmap(LinearPmapSystem &lsys, bool kernel) : LinearPmap(lsys, kernel)
+    {
+        setHwOps(&kHwOpsFor<VaxPmap>);
+    }
 };
 
 /** The VAX instantiation of the linear-table pmap module. */

@@ -70,8 +70,12 @@ MetricsRegistry::add(MetricId id, std::uint64_t delta, CpuId cpu)
         return;
     Def &def = defs[id.index];
     MACH_ASSERT(def.kind == MetricKind::Counter && !def.bound);
-    def.slots[cpu < ncpus ? cpu : 0].v.fetch_add(
-        delta, std::memory_order_relaxed);
+    // The simulator is single-threaded: a relaxed load+store bumps
+    // the shard without the locked read-modify-write an RMW atomic
+    // would cost on the fault hot path.
+    Slot &slot = def.slots[cpu < ncpus ? cpu : 0];
+    slot.v.store(slot.v.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
 }
 
 void
@@ -84,8 +88,10 @@ MetricsRegistry::addGauge(MetricId id, std::int64_t delta, CpuId cpu)
     // Two's-complement wraparound makes the summed shards correct
     // even when one shard goes transiently "negative" (a page wired
     // on CPU 0 and unwired on CPU 2).
-    def.slots[cpu < ncpus ? cpu : 0].v.fetch_add(
-        static_cast<std::uint64_t>(delta), std::memory_order_relaxed);
+    Slot &slot = def.slots[cpu < ncpus ? cpu : 0];
+    slot.v.store(slot.v.load(std::memory_order_relaxed) +
+                     static_cast<std::uint64_t>(delta),
+                 std::memory_order_relaxed);
 }
 
 void
@@ -96,6 +102,26 @@ MetricsRegistry::record(MetricId id, SimTime ns, CpuId cpu)
     Def &def = defs[id.index];
     MACH_ASSERT(def.kind == MetricKind::Histogram);
     def.hists[cpu < ncpus ? cpu : 0].record(ns);
+}
+
+MetricsRegistry::Slot *
+MetricsRegistry::counterSlots(MetricId id)
+{
+    if (!id.valid())
+        return nullptr;
+    Def &def = defs[id.index];
+    MACH_ASSERT(def.kind != MetricKind::Histogram && !def.bound);
+    return def.slots.get();
+}
+
+LatencyHistogram *
+MetricsRegistry::histogramShards(MetricId id)
+{
+    if (!id.valid())
+        return nullptr;
+    Def &def = defs[id.index];
+    MACH_ASSERT(def.kind == MetricKind::Histogram);
+    return def.hists.get();
 }
 
 std::uint64_t

@@ -120,6 +120,12 @@ struct VmAccounting
 class MetricsRegistry
 {
   public:
+    /** One cache line per CPU so shards never false-share. */
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
     explicit MetricsRegistry(unsigned ncpus = 1);
 
     MetricsRegistry(const MetricsRegistry &) = delete;
@@ -142,6 +148,16 @@ class MetricsRegistry
     void add(MetricId id, std::uint64_t delta, CpuId cpu);
     void addGauge(MetricId id, std::int64_t delta, CpuId cpu);
     void record(MetricId id, SimTime ns, CpuId cpu);
+
+    /**
+     * Raw shard arrays (numCpus() entries) of an owned metric, for
+     * call sites hot enough that even the id-indexed add() dispatch
+     * shows up.  The arrays are stable for the registry's lifetime
+     * (later registrations never move them); callers clamp the CPU
+     * index to numCpus() themselves, as add() does.
+     */
+    Slot *counterSlots(MetricId id);
+    LatencyHistogram *histogramShards(MetricId id);
     /** @} */
 
     /** @name Snapshot / query (cold; merges shards) @{ */
@@ -177,12 +193,6 @@ class MetricsRegistry
     /** @} */
 
   private:
-    /** One cache line per CPU so shards never false-share. */
-    struct alignas(64) Slot
-    {
-        std::atomic<std::uint64_t> v{0};
-    };
-
     struct Def
     {
         std::string name;

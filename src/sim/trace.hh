@@ -25,6 +25,7 @@
 #define MACH_SIM_TRACE_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -179,11 +180,7 @@ class LatencyHistogram
     static unsigned
     bucketOf(SimTime ns)
     {
-        unsigned w = 0;
-        while (ns) {
-            ++w;
-            ns >>= 1;
-        }
+        unsigned w = std::bit_width(std::uint64_t(ns));
         return w < kBuckets ? w : kBuckets - 1;
     }
 

@@ -35,12 +35,24 @@ VmSys::fault(VmMap &map, VmOffset va, FaultType type, VmPage **out_page)
 
     VmOffset page_va = pageTrunc(va);
 
-    traceEmit(machine.clock(), TraceEventType::FaultBegin,
-              static_cast<std::uint8_t>(type), page_va, 0);
+    // One hoisted test covers every emission below: with no sink and
+    // no registry attached (the common benchmark configuration), the
+    // whole introspection block is a single predicted-not-taken
+    // branch instead of five scattered pointer tests.
+    const bool introspecting =
+        kTraceCompiled && (machine.clock().traceSink() != nullptr ||
+                           machine.clock().metricsRegistry() != nullptr);
+
+    if (introspecting) {
+        traceEmit(machine.clock(), TraceEventType::FaultBegin,
+                  static_cast<std::uint8_t>(type), page_va, 0);
+    }
     SimStopwatch faultWatch(machine.clock());
     TraceFaultKind resolution = TraceFaultKind::Resident;
     VmObject *res_object = nullptr;  //!< object that satisfied it
     auto faultDone = [&]() {
+        if (!introspecting)
+            return;
         traceLatency(machine.clock(), TraceLatencyKind::Fault,
                      faultWatch.elapsed());
         traceEmit(machine.clock(), TraceEventType::FaultEnd,

@@ -118,6 +118,9 @@ VmObject::destroyPages()
             sys.pmaps.removeAll(page->physAddr, ShootdownMode::Immediate);
     }
     while (VmPage *page = pages.front()) {
+        // Page entries come off a list that cycles the whole machine;
+        // overlap the next entry's cache miss with this one's work.
+        __builtin_prefetch(pages.next(page));
         // Permanent (file-backed) data must reach its pager before
         // the frame goes away.
         if (pager && !temporary &&

@@ -187,6 +187,17 @@ class VmObject
     friend class VmSys;
 };
 
+/**
+ * Defined here (not vm_page.cc) so the fault path's hot lookup
+ * inlines into its callers: the body needs VmObject complete.
+ */
+inline VmPage *
+ResidentPageTable::lookup(VmObject *object, VmOffset offset)
+{
+    MACH_ASSERT((offset & (machPage - 1)) == 0);
+    return object->pageIndex.find(offset >> machShift);
+}
+
 } // namespace mach
 
 #endif // MACH_VM_VM_OBJECT_HH

@@ -1,5 +1,6 @@
 #include "vm/vm_page.hh"
 
+#include <bit>
 #include <new>
 #include <type_traits>
 
@@ -19,6 +20,7 @@ ResidentPageTable::ResidentPageTable(Machine &machine,
       machPage(mach_page_size)
 {
     MACH_ASSERT(isPowerOf2(machPage));
+    machShift = std::countr_zero(machPage);
     const MachineSpec &spec = machine.spec;
     physLimit = spec.physAddrLimit ? spec.physAddrLimit
                                    : spec.physMemBytes;
@@ -49,13 +51,13 @@ ResidentPageTable::takeFresh()
 void
 ResidentPageTable::indexInsert(VmPage *page)
 {
-    page->object->pageIndex.insert(page->offset / machPage, page);
+    page->object->pageIndex.insert(page->offset >> machShift, page);
 }
 
 void
 ResidentPageTable::indexRemove(VmPage *page)
 {
-    page->object->pageIndex.erase(page->offset / machPage);
+    page->object->pageIndex.erase(page->offset >> machShift);
 }
 
 VmPage *
@@ -71,6 +73,9 @@ ResidentPageTable::alloc(VmObject *object, VmOffset offset)
         page = freeQ.popFront();
         if (!page)
             return nullptr;
+        // The free list cycles through every frame in the machine, so
+        // the next head is usually cold; start pulling it in now.
+        __builtin_prefetch(freeQ.front());
     }
     machine.clock().charge(CostKind::Software,
                            machine.spec.costs.pageQueueOp);
@@ -83,7 +88,7 @@ ResidentPageTable::alloc(VmObject *object, VmOffset offset)
     page->object = object;
     page->offset = offset;
     if (object) {
-        MACH_ASSERT(offset % machPage == 0);
+        MACH_ASSERT((offset & (machPage - 1)) == 0);
         indexInsert(page);
         object->pages.pushBack(page);
         ++object->residentCount;
@@ -109,18 +114,11 @@ ResidentPageTable::free(VmPage *page)
                            machine.spec.costs.pageQueueOp);
 }
 
-VmPage *
-ResidentPageTable::lookup(VmObject *object, VmOffset offset)
-{
-    MACH_ASSERT(offset % machPage == 0);
-    return object->pageIndex.find(offset / machPage);
-}
-
 void
 ResidentPageTable::rename(VmPage *page, VmObject *new_object,
                           VmOffset new_offset)
 {
-    MACH_ASSERT(new_offset % machPage == 0);
+    MACH_ASSERT((new_offset & (machPage - 1)) == 0);
     if (page->object) {
         indexRemove(page);
         page->object->pages.remove(page);

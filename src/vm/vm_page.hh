@@ -207,6 +207,7 @@ class ResidentPageTable
 
     Machine &machine;
     VmSize machPage;
+    unsigned machShift = 0;  //!< log2(machPage): index math by shift
     PhysAddr physLimit = 0;
 
     using PageQueueList = IntrusiveList<VmPage, &VmPage::queueHook>;

@@ -217,6 +217,89 @@ TEST(Machine, RmwBugReportsReadFault)
     EXPECT_EQ(seen, FaultType::Write);
 }
 
+TEST(Machine, AccessRejectsWrappedRanges)
+{
+    // A range whose end wraps the top of the address space used to
+    // make read/write restart at va 0 and touch() scan nothing;
+    // all three must reject it up front instead.
+    Machine m(tinySpec(ArchType::Vax));
+    FlatSpace space;
+    m.bindSpace(0, &space);
+
+    const VmOffset top = ~VmOffset(0);
+    std::uint8_t buf[4] = {};
+    EXPECT_EQ(m.read(0, top - 1, buf, 4), KernReturn::InvalidAddress);
+    EXPECT_EQ(m.write(0, top - 1, buf, 4), KernReturn::InvalidAddress);
+    EXPECT_EQ(m.touch(0, top - 1, 4, AccessType::Read),
+              KernReturn::InvalidAddress);
+    // Nothing was referenced: the reject happens before any access.
+    EXPECT_EQ(space.referenced, 0);
+}
+
+TEST(Machine, TouchReachesTopOfAddressSpace)
+{
+    // A range ending exactly at the last byte must touch its final
+    // page (the old `p < va + len` loop bound overflowed to 0 and
+    // skipped everything).  FlatSpace translates any va, and touch
+    // moves no data, so the huge addresses are safe here.
+    Machine m(tinySpec(ArchType::Vax));
+    FlatSpace space;
+    m.bindSpace(0, &space);
+
+    const VmOffset top = ~VmOffset(0);
+    EXPECT_EQ(m.touch(0, top - 511, 512, AccessType::Read),
+              KernReturn::Success);
+    EXPECT_GE(space.referenced, 1);
+
+    // Zero-length accesses succeed without touching anything.
+    int before = space.referenced;
+    EXPECT_EQ(m.touch(0, 0, 0, AccessType::Read), KernReturn::Success);
+    std::uint8_t b;
+    EXPECT_EQ(m.read(0, 0, &b, 0), KernReturn::Success);
+    EXPECT_EQ(m.write(0, 0, &b, 0), KernReturn::Success);
+    EXPECT_EQ(space.referenced, before);
+}
+
+TEST(Machine, ProbeRetriesThroughFaultHandler)
+{
+    // probe() shares accessOne's fault-retry loop: a first miss runs
+    // the handler, and the retried translation reports the physical
+    // address without moving any data.
+    Machine m(tinySpec(ArchType::Vax));
+    FlatSpace space;
+    space.present = false;
+    m.bindSpace(0, &space);
+
+    int fault_count = 0;
+    m.setFaultHandler([&](CpuId, VmOffset, FaultType) {
+        ++fault_count;
+        space.present = true;
+        return KernReturn::Success;
+    });
+
+    PhysAddr pa = ~PhysAddr(0);
+    EXPECT_EQ(m.probe(0, 1024 + 17, AccessType::Read, &pa),
+              KernReturn::Success);
+    EXPECT_EQ(fault_count, 1);
+    EXPECT_EQ(pa, 1024u + 17);
+
+    // A handler failure propagates out of probe unchanged.
+    space.present = false;
+    m.cpu(0).tlb.flushAll();
+    m.setFaultHandler([&](CpuId, VmOffset, FaultType) {
+        return KernReturn::MemoryError;
+    });
+    EXPECT_EQ(m.probe(0, 2048, AccessType::Read, nullptr),
+              KernReturn::MemoryError);
+}
+
+TEST(Machine, ProbeWithoutHandlerFails)
+{
+    Machine m(tinySpec(ArchType::Vax));
+    EXPECT_EQ(m.probe(0, 4096, AccessType::Read, nullptr),
+              KernReturn::InvalidAddress);
+}
+
 TEST(Machine, ModifyNotificationOnFirstWrite)
 {
     Machine m(tinySpec(ArchType::Vax));
